@@ -1,0 +1,330 @@
+//! Set-associative caches with MESI line states.
+//!
+//! The same structure serves as L1, L2, and (with a node-sized geometry)
+//! the COMA attraction memory. The cache is a pure state machine over
+//! *line indices* (`paddr >> line_shift`); the hierarchy composes probes,
+//! fills, invalidations and evictions into protocol transactions.
+
+use crate::config::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// MESI states of a resident line (absence of the line is Invalid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LineState {
+    /// Clean, possibly in other caches.
+    Shared,
+    /// Clean and exclusively owned.
+    Exclusive,
+    /// Dirty and exclusively owned.
+    Modified,
+}
+
+impl LineState {
+    /// True if a local write is allowed without a coherence transaction.
+    #[inline]
+    pub fn writable(self) -> bool {
+        matches!(self, LineState::Exclusive | LineState::Modified)
+    }
+
+    /// True if an eviction must write data back.
+    #[inline]
+    pub fn dirty(self) -> bool {
+        matches!(self, LineState::Modified)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    /// Full line index (`paddr >> line_shift`).
+    idx: u64,
+    state: LineState,
+    /// LRU stamp.
+    stamp: u64,
+}
+
+/// Per-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Probes that found the line.
+    pub hits: u64,
+    /// Probes that missed.
+    pub misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+    /// Evicted lines that were dirty (writebacks).
+    pub writebacks: u64,
+    /// Lines removed by external invalidations.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in [0, 1].
+    pub fn miss_ratio(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.misses as f64 / t as f64
+        }
+    }
+}
+
+/// A set-associative cache over line indices.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<Option<Line>>>,
+    set_mask: u64,
+    line_shift: u32,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from a validated geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate().expect("invalid cache geometry");
+        let sets = cfg.sets() as usize;
+        Self {
+            sets: vec![vec![None; cfg.assoc as usize]; sets],
+            set_mask: sets as u64 - 1,
+            line_shift: cfg.line.trailing_zeros(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Line index of a physical address in this cache's geometry.
+    #[inline]
+    pub fn line_of(&self, paddr: u64) -> u64 {
+        paddr >> self.line_shift
+    }
+
+    /// Line size in bytes.
+    #[inline]
+    pub fn line_size(&self) -> u32 {
+        1 << self.line_shift
+    }
+
+    #[inline]
+    fn set_of(&self, idx: u64) -> usize {
+        (idx & self.set_mask) as usize
+    }
+
+    /// Probes for a line; a hit refreshes LRU and returns the state.
+    /// Counts a hit or a miss.
+    pub fn probe(&mut self, idx: u64) -> Option<LineState> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(idx);
+        for way in self.sets[set].iter_mut().flatten() {
+            if way.idx == idx {
+                way.stamp = tick;
+                self.stats.hits += 1;
+                return Some(way.state);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Checks residency without touching LRU or counters.
+    pub fn peek(&self, idx: u64) -> Option<LineState> {
+        let set = self.set_of(idx);
+        self.sets[set]
+            .iter()
+            .flatten()
+            .find(|l| l.idx == idx)
+            .map(|l| l.state)
+    }
+
+    /// Inserts (fills) a line in `state`, evicting the set's LRU victim if
+    /// the set is full. Returns the victim `(line index, state)` if one was
+    /// evicted. The line must not already be resident.
+    pub fn insert(&mut self, idx: u64, state: LineState) -> Option<(u64, LineState)> {
+        debug_assert!(self.peek(idx).is_none(), "insert of resident line {idx:#x}");
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(idx);
+        let ways = &mut self.sets[set];
+        // Prefer an empty way.
+        if let Some(slot) = ways.iter_mut().find(|w| w.is_none()) {
+            *slot = Some(Line {
+                idx,
+                state,
+                stamp: tick,
+            });
+            return None;
+        }
+        // Evict LRU.
+        let victim_way = ways
+            .iter_mut()
+            .min_by_key(|w| w.as_ref().map_or(0, |l| l.stamp))
+            .expect("assoc > 0");
+        let victim = victim_way.take().expect("set full");
+        *victim_way = Some(Line {
+            idx,
+            state,
+            stamp: tick,
+        });
+        self.stats.evictions += 1;
+        if victim.state.dirty() {
+            self.stats.writebacks += 1;
+        }
+        Some((victim.idx, victim.state))
+    }
+
+    /// Changes a resident line's state (upgrade/downgrade). Panics if the
+    /// line is absent — protocol bugs must not pass silently.
+    pub fn set_state(&mut self, idx: u64, state: LineState) {
+        let set = self.set_of(idx);
+        let line = self.sets[set]
+            .iter_mut()
+            .flatten()
+            .find(|l| l.idx == idx)
+            .unwrap_or_else(|| panic!("set_state on absent line {idx:#x}"));
+        line.state = state;
+    }
+
+    /// Removes a line due to an external invalidation; returns its state.
+    pub fn invalidate(&mut self, idx: u64) -> Option<LineState> {
+        let set = self.set_of(idx);
+        for way in self.sets[set].iter_mut() {
+            if matches!(way, Some(l) if l.idx == idx) {
+                let state = way.take().map(|l| l.state);
+                self.stats.invalidations += 1;
+                return state;
+            }
+        }
+        None
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident lines (test/diagnostic helper).
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(|s| s.iter().flatten().count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 32-byte lines = 256 bytes.
+        Cache::new(CacheConfig {
+            size: 256,
+            assoc: 2,
+            line: 32,
+        })
+    }
+
+    #[test]
+    fn probe_miss_then_hit_after_insert() {
+        let mut c = tiny();
+        let idx = c.line_of(0x1000);
+        assert_eq!(c.probe(idx), None);
+        c.insert(idx, LineState::Exclusive);
+        assert_eq!(c.probe(idx), Some(LineState::Exclusive));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (stride = sets * line = 128).
+        let a = c.line_of(0x0000);
+        let b = c.line_of(0x0080);
+        let d = c.line_of(0x0100);
+        c.insert(a, LineState::Shared);
+        c.insert(b, LineState::Shared);
+        c.probe(a); // refresh a
+        let victim = c.insert(d, LineState::Shared).unwrap();
+        assert_eq!(victim.0, b, "LRU line must be evicted");
+        assert!(c.peek(a).is_some());
+        assert!(c.peek(b).is_none());
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = tiny();
+        let a = c.line_of(0x0000);
+        let b = c.line_of(0x0080);
+        let d = c.line_of(0x0100);
+        c.insert(a, LineState::Modified);
+        c.insert(b, LineState::Shared);
+        // Evicts a (LRU) which is dirty.
+        let (vidx, vstate) = c.insert(d, LineState::Shared).unwrap();
+        assert_eq!(vidx, a);
+        assert_eq!(vstate, LineState::Modified);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn invalidate_removes_and_counts() {
+        let mut c = tiny();
+        let a = c.line_of(0x40);
+        c.insert(a, LineState::Shared);
+        assert_eq!(c.invalidate(a), Some(LineState::Shared));
+        assert_eq!(c.invalidate(a), None);
+        assert_eq!(c.stats().invalidations, 1);
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn set_state_upgrades() {
+        let mut c = tiny();
+        let a = c.line_of(0x40);
+        c.insert(a, LineState::Shared);
+        c.set_state(a, LineState::Modified);
+        assert_eq!(c.peek(a), Some(LineState::Modified));
+    }
+
+    #[test]
+    #[should_panic(expected = "absent line")]
+    fn set_state_on_absent_line_panics() {
+        let mut c = tiny();
+        c.set_state(5, LineState::Shared);
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru_or_stats() {
+        let mut c = tiny();
+        let a = c.line_of(0x0000);
+        let b = c.line_of(0x0080);
+        let d = c.line_of(0x0100);
+        c.insert(a, LineState::Shared);
+        c.insert(b, LineState::Shared);
+        let before = c.stats();
+        assert!(c.peek(a).is_some());
+        assert_eq!(c.stats(), before);
+        // a was inserted first and peek must not refresh it: a is victim.
+        let victim = c.insert(d, LineState::Shared).unwrap();
+        assert_eq!(victim.0, a);
+    }
+
+    #[test]
+    fn writable_and_dirty_predicates() {
+        assert!(!LineState::Shared.writable());
+        assert!(LineState::Exclusive.writable());
+        assert!(LineState::Modified.writable());
+        assert!(LineState::Modified.dirty());
+        assert!(!LineState::Exclusive.dirty());
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = tiny();
+        let a = c.line_of(0);
+        c.probe(a);
+        c.insert(a, LineState::Shared);
+        c.probe(a);
+        c.probe(a);
+        c.probe(a);
+        assert!((c.stats().miss_ratio() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Backend configuration.
+
+use crate::devices::{DiskParams, NetParams};
+use compass_arch::ArchConfig;
+use compass_isa::Cycles;
+use compass_mem::PlacementPolicy;
+use serde::{Deserialize, Serialize};
+
+/// How the backend overlaps with frontends on the host (§5, Tables 2–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// "Uniprocessor host": after replying to a process the backend waits
+    /// for that process's next post before touching anything else, so
+    /// exactly one entity runs at a time — the rendezvous per event models
+    /// the context switch the paper's uniprocessor deployment pays.
+    Serialized,
+    /// "SMP host": the backend processes any *safe* pending event while
+    /// released frontends compute concurrently.
+    Pipelined,
+}
+
+/// Process-scheduler policies (§3.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// "In the default or FCFS scheduler a process will be assigned the
+    /// first available processor."
+    Fcfs,
+    /// "In the optimized or affinity scheduler, if more than one processor
+    /// is free, the process will try to choose a processor it has used
+    /// before, preferably the one it was using before it was blocked",
+    /// falling back to processors on the same node.
+    Affinity,
+}
+
+/// Backend configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BackendConfig {
+    /// Target architecture model.
+    pub arch: ArchConfig,
+    /// Host-overlap mode.
+    pub mode: EngineMode,
+    /// Scheduler policy.
+    pub sched: SchedPolicy,
+    /// Pre-emption interval; `None` disables the pre-emptive scheduler.
+    /// "The pre-emption interval can be changed in the simulator. The
+    /// pre-emptive scheduler can be used with the default or optimized
+    /// scheduler." (§3.3.2)
+    pub preempt_interval: Option<Cycles>,
+    /// Page placement policy (§3.3.1).
+    pub placement: PlacementPolicy,
+    /// Simulated memory per node, bytes.
+    pub mem_per_node: u64,
+    /// Number of simulated disks.
+    pub disks: usize,
+    /// Disk timing parameters.
+    pub disk: DiskParams,
+    /// Network/NIC timing parameters.
+    pub net: NetParams,
+    /// TLB entries per CPU (0 disables the TLB model).
+    pub tlb_entries: usize,
+    /// TLB associativity.
+    pub tlb_assoc: usize,
+    /// Interval-timer period per CPU; `None` disables timer interrupts.
+    pub timer_interval: Option<Cycles>,
+    /// Host-time deadlock detector: if no event can be processed and
+    /// nothing is posted for this many milliseconds, the engine panics
+    /// with a diagnostic dump.
+    pub deadlock_ms: u64,
+    /// Which simulated CPU device interrupts are routed to.
+    pub irq_cpu: usize,
+}
+
+impl BackendConfig {
+    /// A reasonable default around a given architecture.
+    pub fn new(arch: ArchConfig) -> Self {
+        BackendConfig {
+            arch,
+            mode: EngineMode::Pipelined,
+            sched: SchedPolicy::Fcfs,
+            preempt_interval: None,
+            placement: PlacementPolicy::FirstTouch,
+            mem_per_node: 1 << 32, // 4 GiB per node: placement studies never exhaust
+            disks: 2,
+            disk: DiskParams::default(),
+            net: NetParams::default(),
+            tlb_entries: 128,
+            tlb_assoc: 2,
+            timer_interval: None,
+            deadlock_ms: 10_000,
+            irq_cpu: 0,
+        }
+    }
+
+    /// Validates shape parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        self.arch.validate()?;
+        if self.irq_cpu >= self.arch.ncpus() {
+            return Err(format!(
+                "irq_cpu {} out of range ({} cpus)",
+                self.irq_cpu,
+                self.arch.ncpus()
+            ));
+        }
+        if self.tlb_entries > 0 {
+            if self.tlb_assoc == 0 || !self.tlb_entries.is_multiple_of(self.tlb_assoc) {
+                return Err("bad TLB geometry".into());
+            }
+            if !(self.tlb_entries / self.tlb_assoc).is_power_of_two() {
+                return Err("TLB set count must be a power of two".into());
+            }
+        }
+        if let Some(p) = self.preempt_interval {
+            if p == 0 {
+                return Err("zero pre-emption interval".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        BackendConfig::new(ArchConfig::ccnuma(2, 2)).validate().unwrap();
+        BackendConfig::new(ArchConfig::simple_smp(4)).validate().unwrap();
+    }
+
+    #[test]
+    fn bad_irq_cpu_rejected() {
+        let mut c = BackendConfig::new(ArchConfig::simple_smp(2));
+        c.irq_cpu = 5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bad_tlb_rejected() {
+        let mut c = BackendConfig::new(ArchConfig::simple_smp(2));
+        c.tlb_entries = 100;
+        c.tlb_assoc = 3;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_preempt_interval_rejected() {
+        let mut c = BackendConfig::new(ArchConfig::simple_smp(2));
+        c.preempt_interval = Some(0);
+        assert!(c.validate().is_err());
+    }
+}

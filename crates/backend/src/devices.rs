@@ -1,0 +1,232 @@
+//! Physical device models (§3.4): disks, Ethernet, real-time clock.
+//!
+//! "Currently we have implemented simulation models for three kinds of
+//! devices, namely the real time clock, the Ethernet and the hard disk
+//! drives."
+//!
+//! Devices turn commands into *future completions* (tasks in the global
+//! event scheduler) plus interrupt requests; the functional side of a
+//! completion is deposited in the communicator's device postbox for the
+//! kernel's interrupt handlers.
+
+use compass_arch::bus::BusyResource;
+use compass_comm::Frame;
+use compass_isa::{ConnId, Cycles};
+use serde::{Deserialize, Serialize};
+
+/// Disk timing parameters (a late-90s SCSI drive at a 133 MHz clock:
+/// ~6 ms average positioning ≈ 800k cycles, ~15 MB/s media rate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskParams {
+    /// Average seek + rotational positioning, cycles.
+    pub positioning: Cycles,
+    /// Transfer time per 512-byte block, cycles.
+    pub per_block: Cycles,
+    /// Controller/driver fixed overhead charged to the issuing kernel
+    /// code, cycles.
+    pub issue_overhead: Cycles,
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        DiskParams {
+            positioning: 800_000,
+            per_block: 4_500,
+            issue_overhead: 300,
+        }
+    }
+}
+
+/// One disk drive: requests queue at the drive (FIFO) and complete after
+/// positioning + transfer.
+#[derive(Debug, Clone)]
+pub struct Disk {
+    params: DiskParams,
+    queue: BusyResource,
+    /// Completions produced.
+    pub ops: u64,
+    /// Blocks moved.
+    pub blocks: u64,
+}
+
+impl Disk {
+    /// Creates an idle disk.
+    pub fn new(params: DiskParams) -> Self {
+        Self {
+            params,
+            queue: BusyResource::new(),
+            ops: 0,
+            blocks: 0,
+        }
+    }
+
+    /// Starts a transfer of `nblocks` at time `now`; returns the absolute
+    /// completion time.
+    pub fn start(&mut self, now: Cycles, nblocks: u32) -> Cycles {
+        let service = self.params.positioning + self.params.per_block * nblocks as u64;
+        let delay = self.queue.acquire(now, service);
+        self.ops += 1;
+        self.blocks += nblocks as u64;
+        now + delay
+    }
+
+    /// Fixed overhead the issuing kernel path pays.
+    pub fn issue_overhead(&self) -> Cycles {
+        self.params.issue_overhead
+    }
+
+    /// Cycles the drive has been busy.
+    pub fn busy_cycles(&self) -> Cycles {
+        self.queue.busy_cycles
+    }
+}
+
+/// Ethernet timing parameters (100 Mbit/s at 133 MHz ≈ 10.6 cycles/byte;
+/// we charge ~11 per byte plus per-frame overhead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetParams {
+    /// Fixed cycles per frame on the wire.
+    pub per_frame: Cycles,
+    /// Wire cycles per byte (×100).
+    pub per_byte_x100: Cycles,
+    /// Maximum payload per frame.
+    pub mtu: u32,
+    /// Driver overhead charged to the issuing kernel code.
+    pub issue_overhead: Cycles,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams {
+            per_frame: 2_000,
+            per_byte_x100: 1_100,
+            mtu: 1460,
+            issue_overhead: 200,
+        }
+    }
+}
+
+/// One NIC: transmissions occupy the wire.
+#[derive(Debug, Clone)]
+pub struct Nic {
+    params: NetParams,
+    wire: BusyResource,
+    /// Bytes transmitted.
+    pub tx_bytes: u64,
+    /// Frames transmitted.
+    pub tx_frames: u64,
+}
+
+impl Nic {
+    /// Creates an idle NIC.
+    pub fn new(params: NetParams) -> Self {
+        Self {
+            params,
+            wire: BusyResource::new(),
+            tx_bytes: 0,
+            tx_frames: 0,
+        }
+    }
+
+    /// Transmits `bytes` starting at `now`; returns the absolute time the
+    /// last frame leaves the wire.
+    pub fn transmit(&mut self, now: Cycles, bytes: u32) -> Cycles {
+        let frames = bytes.div_ceil(self.params.mtu).max(1) as u64;
+        let service =
+            frames * self.params.per_frame + (bytes as u64 * self.params.per_byte_x100) / 100;
+        let delay = self.wire.acquire(now, service);
+        self.tx_bytes += bytes as u64;
+        self.tx_frames += frames;
+        now + delay
+    }
+
+    /// Driver overhead the issuing kernel path pays.
+    pub fn issue_overhead(&self) -> Cycles {
+        self.params.issue_overhead
+    }
+}
+
+/// A pluggable client-side traffic model. The SPECWeb-style trace player
+/// implements this: it injects request frames at trace times and reacts to
+/// server transmissions (§4.2: "We then implement a trace player that
+/// reads the trace file and feeds the requests to a web server").
+pub trait TrafficSource: Send {
+    /// Frames to inject when the simulation starts, with absolute times.
+    fn initial(&mut self) -> Vec<(Cycles, Frame)>;
+
+    /// Called when the server transmits `bytes` on `conn` at `now`;
+    /// returns follow-up frames (e.g. the client's next request) with
+    /// absolute delivery times.
+    fn on_tx(&mut self, conn: ConnId, bytes: u32, now: Cycles) -> Vec<(Cycles, Frame)>;
+}
+
+/// A traffic source that never sends anything (disk-only workloads).
+#[derive(Debug, Default)]
+pub struct NullTraffic;
+
+impl TrafficSource for NullTraffic {
+    fn initial(&mut self) -> Vec<(Cycles, Frame)> {
+        Vec::new()
+    }
+
+    fn on_tx(&mut self, _conn: ConnId, _bytes: u32, _now: Cycles) -> Vec<(Cycles, Frame)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_transfers_queue_fifo() {
+        let mut d = Disk::new(DiskParams {
+            positioning: 100,
+            per_block: 10,
+            issue_overhead: 5,
+        });
+        let t1 = d.start(0, 8); // service 180
+        assert_eq!(t1, 180);
+        let t2 = d.start(0, 8); // queued behind
+        assert_eq!(t2, 360);
+        let t3 = d.start(1000, 1);
+        assert_eq!(t3, 1110);
+        assert_eq!(d.ops, 3);
+        assert_eq!(d.blocks, 17);
+    }
+
+    #[test]
+    fn nic_charges_frames_and_bytes() {
+        let mut n = Nic::new(NetParams {
+            per_frame: 100,
+            per_byte_x100: 1000, // 10 cycles/byte
+            mtu: 1000,
+            issue_overhead: 1,
+        });
+        let one = n.transmit(0, 500); // 1 frame: 100 + 5000
+        assert_eq!(one, 5100);
+        let mut n2 = Nic::new(NetParams {
+            per_frame: 100,
+            per_byte_x100: 1000,
+            mtu: 1000,
+            issue_overhead: 1,
+        });
+        let three = n2.transmit(0, 2500); // 3 frames: 300 + 25000
+        assert_eq!(three, 25300);
+        assert_eq!(n2.tx_frames, 3);
+    }
+
+    #[test]
+    fn zero_byte_tx_still_costs_a_frame() {
+        let mut n = Nic::new(NetParams::default());
+        let t = n.transmit(0, 0);
+        assert!(t >= NetParams::default().per_frame);
+    }
+
+    #[test]
+    fn null_traffic_is_silent() {
+        let mut t = NullTraffic;
+        assert!(t.initial().is_empty());
+        assert!(t.on_tx(ConnId(0), 100, 0).is_empty());
+    }
+}

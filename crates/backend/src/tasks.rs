@@ -1,0 +1,132 @@
+//! The global event scheduler's task queue.
+//!
+//! "When the event information is received by the backend, the backend
+//! creates a task and inserts it in the *global event scheduler* with a
+//! time stamp indicating at which global simulation cycle the task is to
+//! be dispatched." (§2)
+//!
+//! Frontend events are consumed directly from the ports (the ports *are*
+//! the pending set); this queue holds backend-generated future work:
+//! device completions, frame deliveries, timer ticks. Tasks at time `t`
+//! are processed before events at time `t` — hardware acts before software
+//! observes — and FIFO among themselves via a sequence number.
+
+use compass_comm::{DiskCompletion, Frame};
+use compass_isa::{CpuId, Cycles};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Backend-generated future work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Task {
+    /// A disk transfer finishes.
+    DiskComplete(DiskCompletion),
+    /// A frame arrives from the network.
+    NetDeliver(Frame),
+    /// The interval timer of a CPU fires.
+    TimerTick {
+        /// The CPU whose timer fired.
+        cpu: CpuId,
+    },
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Entry {
+    time: Cycles,
+    seq: u64,
+    task: Task,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered task queue.
+#[derive(Debug, Default)]
+pub struct TaskQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+}
+
+impl TaskQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `task` at absolute time `time`.
+    pub fn schedule(&mut self, time: Cycles, task: Task) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, task }));
+    }
+
+    /// Earliest task time, if any.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Pops the earliest task.
+    pub fn pop(&mut self) -> Option<(Cycles, Task)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.task))
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no task is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = TaskQueue::new();
+        q.schedule(30, Task::TimerTick { cpu: CpuId(0) });
+        q.schedule(10, Task::TimerTick { cpu: CpuId(1) });
+        q.schedule(20, Task::TimerTick { cpu: CpuId(2) });
+        let order: Vec<Cycles> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = TaskQueue::new();
+        q.schedule(5, Task::TimerTick { cpu: CpuId(0) });
+        q.schedule(5, Task::TimerTick { cpu: CpuId(1) });
+        q.schedule(5, Task::TimerTick { cpu: CpuId(2) });
+        let cpus: Vec<u16> = std::iter::from_fn(|| {
+            q.pop().map(|(_, t)| match t {
+                Task::TimerTick { cpu } => cpu.0,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(cpus, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = TaskQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(42, Task::TimerTick { cpu: CpuId(0) });
+        assert_eq!(q.peek_time(), Some(42));
+        assert_eq!(q.pop().unwrap().0, 42);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,525 @@
+//! Virtual-memory management in the backend (category 2, §3.3.1).
+//!
+//! Per-process page tables, demand paging, shared-segment attach, the
+//! page-home hash table with round-robin / block / first-touch placement,
+//! per-CPU TLBs, and — for the software-DSM memory system — page-level
+//! coherence driven by the translations themselves.
+
+use compass_isa::{CpuId, NodeId, ProcessId, SegId};
+use compass_mem::{
+    addr, FrameAllocator, HomeMap, PageFlags, PageTable, PlacementPolicy, Region, ShmError,
+    ShmRegistry, Tlb, TlbStats, VAddr, PAddr, PAGE_SIZE,
+};
+use std::collections::HashMap;
+
+/// Page-level residency for the software-DSM model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageRes {
+    /// Read copies at the nodes in the mask.
+    Shared(u64),
+    /// One node holds the page writable.
+    Excl(u16),
+}
+
+/// A software-DSM protocol action the engine must charge for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsmTransfer {
+    /// Node the page moves from (current owner / any holder).
+    pub from: usize,
+    /// Node the page moves to.
+    pub to: usize,
+    /// Bytes moved (a page).
+    pub bytes: u32,
+    /// Number of remote invalidations performed (write faults).
+    pub invalidations: u32,
+}
+
+/// Outcome of translating one reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The physical address.
+    pub paddr: PAddr,
+    /// Home node of the page.
+    pub home: usize,
+    /// True if this reference TLB-missed.
+    pub tlb_miss: bool,
+    /// True if this reference took a soft (demand-zero / lazy-attach)
+    /// fault.
+    pub soft_fault: bool,
+    /// Software-DSM transfer triggered, if any.
+    pub dsm: Option<DsmTransfer>,
+}
+
+/// VM counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Demand-zero / lazy-attach faults.
+    pub soft_faults: u64,
+    /// Pages mapped in total.
+    pub pages_mapped: u64,
+    /// DSM read transfers.
+    pub dsm_read_faults: u64,
+    /// DSM write faults (ownership moves).
+    pub dsm_write_faults: u64,
+}
+
+/// The backend's VM manager.
+pub struct Vm {
+    tables: Vec<PageTable>,
+    tlbs: Vec<Tlb>,
+    frames: FrameAllocator,
+    homes: HomeMap,
+    shm: ShmRegistry,
+    placement: PlacementPolicy,
+    nodes: usize,
+    dsm_enabled: bool,
+    dsm_pages: HashMap<u64, PageRes>,
+    stats: VmStats,
+}
+
+impl Vm {
+    /// Creates the VM manager for `nprocs` processes on `nodes` nodes with
+    /// `ncpus` TLBs.
+    #[allow(clippy::too_many_arguments)] // a constructor mirroring the config
+    pub fn new(
+        nprocs: usize,
+        nodes: usize,
+        ncpus: usize,
+        mem_per_node: u64,
+        placement: PlacementPolicy,
+        tlb_entries: usize,
+        tlb_assoc: usize,
+        dsm_enabled: bool,
+    ) -> Self {
+        let tlbs = if tlb_entries > 0 {
+            (0..ncpus).map(|_| Tlb::new(tlb_entries, tlb_assoc)).collect()
+        } else {
+            Vec::new()
+        };
+        Self {
+            tables: (0..nprocs).map(|_| PageTable::new()).collect(),
+            tlbs,
+            frames: FrameAllocator::new(nodes, mem_per_node),
+            homes: HomeMap::new(),
+            shm: ShmRegistry::new(),
+            placement,
+            nodes,
+            dsm_enabled,
+            dsm_pages: HashMap::new(),
+            stats: VmStats::default(),
+        }
+    }
+
+    /// `shmget`: create or find the segment; eager policies allocate and
+    /// place every frame now.
+    pub fn shmget(&mut self, key: u32, len: u32) -> Result<SegId, ShmError> {
+        let existed_before = self.shm.len();
+        let seg = self.shm.shmget(key, len)?;
+        let is_new = self.shm.len() > existed_before;
+        if is_new && self.placement.is_eager() {
+            let pages = self.shm.segment(seg).expect("just created").pages() as u64;
+            for idx in 0..pages {
+                let home = self.placement.eager_home(idx, self.nodes);
+                let ppn = self
+                    .frames
+                    .alloc_on(home)
+                    .expect("simulated memory exhausted during shmget");
+                self.homes.place_eager(ppn, home);
+                self.shm
+                    .segment_mut(seg)
+                    .expect("just created")
+                    .frames[idx as usize] = Some(ppn);
+                self.stats.pages_mapped += 1;
+            }
+        }
+        Ok(seg)
+    }
+
+    /// `shmat`: attach and install PTEs for already-materialised frames
+    /// (eager placement); first-touch frames fault in lazily. Returns the
+    /// common base address and the number of PTEs installed (the engine
+    /// charges per-page setup cost).
+    pub fn shmat(&mut self, seg: SegId, pid: ProcessId) -> Result<(VAddr, u32), ShmError> {
+        let base = self.shm.shmat(seg, pid)?;
+        let segment = self.shm.segment(seg).expect("attach succeeded");
+        let frames: Vec<(u32, Option<u64>)> = segment
+            .frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i as u32, *f))
+            .collect();
+        let mut installed = 0;
+        for (idx, frame) in frames {
+            if let Some(ppn) = frame {
+                self.tables[pid.index()].map(
+                    base + idx * PAGE_SIZE,
+                    ppn,
+                    PageFlags::SHARED_RW,
+                );
+                installed += 1;
+            }
+        }
+        Ok((base, installed))
+    }
+
+    /// `shmdt`: detach and remove PTEs. Returns the number removed.
+    pub fn shmdt(&mut self, seg: SegId, pid: ProcessId) -> Result<u32, ShmError> {
+        let base = self.shm.shmdt(seg, pid)?;
+        let pages = self.shm.segment(seg).expect("detach succeeded").pages();
+        let mut removed = 0;
+        for idx in 0..pages {
+            if self.tables[pid.index()].unmap(base + idx * PAGE_SIZE).is_some() {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Removes the mappings of an arbitrary region (munmap).
+    pub fn unmap_region(&mut self, pid: ProcessId, base: VAddr, len: u32) -> u32 {
+        let pages = len.div_ceil(PAGE_SIZE);
+        let mut removed = 0;
+        for i in 0..pages {
+            if self.tables[pid.index()].unmap(base + i * PAGE_SIZE).is_some() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Translates one reference, taking demand-zero / lazy-attach faults
+    /// as needed and driving software-DSM residency.
+    ///
+    /// `node` is the referencing CPU's node (first-touch placement and DSM
+    /// locality); `cpu` indexes the TLB.
+    pub fn translate(
+        &mut self,
+        pid: ProcessId,
+        cpu: CpuId,
+        node: usize,
+        va: VAddr,
+        write: bool,
+    ) -> Translation {
+        let mut soft_fault = false;
+        // Kernel space bypasses the page table (V=R).
+        let paddr = if va.is_kernel() {
+            addr::kernel_vtop(va)
+        } else {
+            match self.tables[pid.index()].translate(va, write) {
+                Ok(p) => p,
+                Err(_) => {
+                    self.demand_fault(pid, node, va);
+                    soft_fault = true;
+                    self.tables[pid.index()]
+                        .translate(va, write)
+                        .expect("fault handling installed a mapping")
+                }
+            }
+        };
+        let home = self
+            .homes
+            .home_or_first_touch(paddr.ppn(), NodeId::from(node))
+            .index();
+        let tlb_miss = if self.tlbs.is_empty() {
+            false
+        } else {
+            !self.tlbs[cpu.index()].access(pid, va)
+        };
+        let dsm = if self.dsm_enabled && !va.is_kernel() {
+            let d = self.dsm_access(paddr.ppn(), node, home, write);
+            if std::env::var_os("COMPASS_DSM_TRACE").is_some() {
+                eprintln!("dsm {pid} va={va} node={node} write={write} -> {d:?}");
+            }
+            d
+        } else {
+            None
+        };
+        Translation {
+            paddr,
+            home,
+            tlb_miss,
+            soft_fault,
+            dsm,
+        }
+    }
+
+    /// Handles a not-mapped fault: demand-zero for private regions,
+    /// lazy frame materialisation for first-touch shared segments.
+    fn demand_fault(&mut self, pid: ProcessId, node: usize, va: VAddr) {
+        self.stats.soft_faults += 1;
+        match va.region() {
+            Region::Heap | Region::Stack | Region::Text => {
+                // Private page: always placed at the toucher's node (the
+                // eager policies in the paper govern *shared* data).
+                let home = NodeId::from(node);
+                let ppn = self
+                    .frames
+                    .alloc_on(home)
+                    .expect("simulated memory exhausted (private page)");
+                self.homes.place_eager(ppn, home);
+                self.tables[pid.index()].map(va, ppn, PageFlags::RW);
+                self.stats.pages_mapped += 1;
+            }
+            Region::Shm => {
+                let seg = self
+                    .shm
+                    .segment_containing(va)
+                    .unwrap_or_else(|| panic!("{pid} touched unattached shm address {va}"))
+                    .id;
+                let segment = self.shm.segment(seg).expect("segment exists");
+                assert!(
+                    segment.attached.contains(&pid),
+                    "{pid} touched segment {seg} without attaching"
+                );
+                let idx = ((va.0 - segment.base.0) / PAGE_SIZE) as usize;
+                let base = segment.base;
+                let existing = segment.frames[idx];
+                let ppn = match existing {
+                    Some(ppn) => ppn,
+                    None => {
+                        // First-touch: materialise here, home = toucher.
+                        let home = NodeId::from(node);
+                        let ppn = self
+                            .frames
+                            .alloc_on(home)
+                            .expect("simulated memory exhausted (shm page)");
+                        self.homes.place_eager(ppn, home);
+                        self.shm.segment_mut(seg).expect("segment exists").frames[idx] =
+                            Some(ppn);
+                        self.stats.pages_mapped += 1;
+                        ppn
+                    }
+                };
+                self.tables[pid.index()].map(
+                    base + (idx as u32) * PAGE_SIZE,
+                    ppn,
+                    PageFlags::SHARED_RW,
+                );
+            }
+            r => panic!("{pid} wild access to {va} ({r:?})"),
+        }
+    }
+
+    /// Software-DSM page protocol: single writer, multiple readers.
+    fn dsm_access(
+        &mut self,
+        ppn: u64,
+        node: usize,
+        home: usize,
+        write: bool,
+    ) -> Option<DsmTransfer> {
+        let me = node as u16;
+        let entry = self
+            .dsm_pages
+            .entry(ppn)
+            .or_insert(PageRes::Excl(home as u16));
+        match (*entry, write) {
+            (PageRes::Excl(owner), false) if owner == me => None,
+            (PageRes::Excl(owner), true) if owner == me => None,
+            (PageRes::Shared(mask), false) if mask & (1 << me) != 0 => None,
+            (PageRes::Excl(owner), false) => {
+                // Read fault: fetch a copy from the owner.
+                *entry = PageRes::Shared((1 << owner) | (1 << me));
+                self.stats.dsm_read_faults += 1;
+                Some(DsmTransfer {
+                    from: owner as usize,
+                    to: node,
+                    bytes: PAGE_SIZE,
+                    invalidations: 0,
+                })
+            }
+            (PageRes::Shared(mask), false) => {
+                // Read fault: fetch from any holder (lowest for determinism).
+                let from = mask.trailing_zeros() as usize;
+                *entry = PageRes::Shared(mask | (1 << me));
+                self.stats.dsm_read_faults += 1;
+                Some(DsmTransfer {
+                    from,
+                    to: node,
+                    bytes: PAGE_SIZE,
+                    invalidations: 0,
+                })
+            }
+            (PageRes::Excl(owner), true) => {
+                *entry = PageRes::Excl(me);
+                self.stats.dsm_write_faults += 1;
+                Some(DsmTransfer {
+                    from: owner as usize,
+                    to: node,
+                    bytes: PAGE_SIZE,
+                    invalidations: 1,
+                })
+            }
+            (PageRes::Shared(mask), true) => {
+                // Write fault: invalidate all other copies, take ownership.
+                let holder = mask.trailing_zeros() as usize;
+                let others = (mask & !(1 << me)).count_ones();
+                let had_copy = mask & (1 << me) != 0;
+                *entry = PageRes::Excl(me);
+                self.stats.dsm_write_faults += 1;
+                Some(DsmTransfer {
+                    from: holder,
+                    to: node,
+                    bytes: if had_copy { 0 } else { PAGE_SIZE },
+                    invalidations: others,
+                })
+            }
+        }
+    }
+
+    /// TLB flush on context switch.
+    pub fn on_context_switch(&mut self, cpu: CpuId) {
+        if let Some(t) = self.tlbs.get_mut(cpu.index()) {
+            t.flush();
+        }
+    }
+
+    /// Summed TLB statistics.
+    pub fn tlb_stats(&self) -> TlbStats {
+        let mut s = TlbStats::default();
+        for t in &self.tlbs {
+            let ts = t.stats();
+            s.hits += ts.hits;
+            s.misses += ts.misses;
+            s.flushes += ts.flushes;
+        }
+        s
+    }
+
+    /// VM counters.
+    pub fn stats(&self) -> VmStats {
+        self.stats
+    }
+
+    /// Placement counters and per-node page histogram.
+    pub fn placement_stats(&self) -> (compass_mem::placement::PlacementStats, Vec<u64>) {
+        (self.homes.stats(), self.homes.pages_per_node(self.nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcessId = ProcessId(0);
+    const P1: ProcessId = ProcessId(1);
+    const C0: CpuId = CpuId(0);
+
+    fn vm(nodes: usize, placement: PlacementPolicy) -> Vm {
+        Vm::new(2, nodes, 2, 1 << 30, placement, 16, 2, false)
+    }
+
+    #[test]
+    fn demand_zero_heap_fault_then_hit() {
+        let mut v = vm(2, PlacementPolicy::FirstTouch);
+        let va = VAddr(0x1000_0000);
+        let t1 = v.translate(P0, C0, 1, va, true);
+        assert!(t1.soft_fault);
+        assert_eq!(t1.home, 1, "first-touch home is the toucher's node");
+        let t2 = v.translate(P0, C0, 0, va + 4, false);
+        assert!(!t2.soft_fault);
+        assert_eq!(t2.paddr.ppn(), t1.paddr.ppn());
+        assert_eq!(t2.home, 1, "home sticks after first touch");
+    }
+
+    #[test]
+    fn private_pages_of_processes_are_distinct() {
+        let mut v = vm(1, PlacementPolicy::FirstTouch);
+        let va = VAddr(0x1000_0000);
+        let a = v.translate(P0, C0, 0, va, true);
+        let b = v.translate(P1, C0, 0, va, true);
+        assert_ne!(a.paddr.ppn(), b.paddr.ppn());
+    }
+
+    #[test]
+    fn shm_round_robin_places_pages_across_nodes() {
+        let mut v = vm(4, PlacementPolicy::RoundRobin);
+        let seg = v.shmget(99, 8 * PAGE_SIZE).unwrap();
+        let (base, installed) = v.shmat(seg, P0).unwrap();
+        assert_eq!(installed, 8);
+        let homes: Vec<usize> = (0..8)
+            .map(|i| v.translate(P0, C0, 0, base + i * PAGE_SIZE, false).home)
+            .collect();
+        assert_eq!(homes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shm_is_shared_between_processes() {
+        let mut v = vm(2, PlacementPolicy::RoundRobin);
+        let seg = v.shmget(7, PAGE_SIZE).unwrap();
+        let (base, _) = v.shmat(seg, P0).unwrap();
+        let (base1, _) = v.shmat(seg, P1).unwrap();
+        assert_eq!(base, base1);
+        let a = v.translate(P0, C0, 0, base, true);
+        let b = v.translate(P1, C0, 1, base, false);
+        assert_eq!(a.paddr, b.paddr, "same frame through both page tables");
+    }
+
+    #[test]
+    fn first_touch_shm_materialises_lazily() {
+        let mut v = vm(2, PlacementPolicy::FirstTouch);
+        let seg = v.shmget(7, 2 * PAGE_SIZE).unwrap();
+        let (base, installed) = v.shmat(seg, P0).unwrap();
+        assert_eq!(installed, 0, "no frames yet under first-touch");
+        let t = v.translate(P0, C0, 1, base + PAGE_SIZE, true);
+        assert!(t.soft_fault);
+        assert_eq!(t.home, 1);
+    }
+
+    #[test]
+    fn shmdt_unmaps() {
+        let mut v = vm(1, PlacementPolicy::RoundRobin);
+        let seg = v.shmget(7, PAGE_SIZE).unwrap();
+        let (base, _) = v.shmat(seg, P0).unwrap();
+        v.translate(P0, C0, 0, base, false);
+        assert_eq!(v.shmdt(seg, P0).unwrap(), 1);
+        // Touching after detach is a wild access.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            v.translate(P0, C0, 0, base, false)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn kernel_addresses_translate_without_mappings() {
+        let mut v = vm(2, PlacementPolicy::FirstTouch);
+        let t = v.translate(P0, C0, 1, VAddr(0xC000_1000), true);
+        assert!(!t.soft_fault);
+        assert_eq!(t.home, 1, "kernel page homed by first toucher");
+    }
+
+    #[test]
+    fn tlb_miss_reported_once_then_hits() {
+        let mut v = vm(1, PlacementPolicy::FirstTouch);
+        let va = VAddr(0x1000_0000);
+        assert!(v.translate(P0, C0, 0, va, false).tlb_miss);
+        assert!(!v.translate(P0, C0, 0, va + 8, false).tlb_miss);
+        v.on_context_switch(C0);
+        assert!(v.translate(P0, C0, 0, va, false).tlb_miss);
+        assert_eq!(v.tlb_stats().flushes, 1);
+    }
+
+    #[test]
+    fn dsm_write_fault_invalidates_readers() {
+        let mut v = Vm::new(2, 2, 2, 1 << 30, PlacementPolicy::FirstTouch, 0, 1, true);
+        let seg = v.shmget(1, PAGE_SIZE).unwrap();
+        let (base, _) = v.shmat(seg, P0).unwrap();
+        v.shmat(seg, P1).unwrap();
+        // P0@node0 writes (first touch: owner node0, no transfer).
+        let t0 = v.translate(P0, C0, 0, base, true);
+        assert_eq!(t0.dsm, None);
+        // P1@node1 reads: page copy moves 0 -> 1.
+        let t1 = v.translate(P1, CpuId(1), 1, base, false);
+        let d1 = t1.dsm.unwrap();
+        assert_eq!((d1.from, d1.to, d1.bytes), (0, 1, PAGE_SIZE));
+        // P1@node1 writes: invalidate node0's copy; already has data.
+        let t2 = v.translate(P1, CpuId(1), 1, base, true);
+        let d2 = t2.dsm.unwrap();
+        assert_eq!(d2.invalidations, 1);
+        assert_eq!(d2.bytes, 0, "writer already held a copy");
+        // Node-1 reads now local.
+        assert_eq!(v.translate(P1, CpuId(1), 1, base, false).dsm, None);
+        assert_eq!(v.stats().dsm_read_faults, 1);
+        assert_eq!(v.stats().dsm_write_faults, 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! F1/F2 micro-benchmarks: the Communicator's "custom built Shared Memory
+//! Message Passing" (§2). Measures event-port round trips (the cost every
+//! simulated memory reference pays) and OS-port calls.
+
+use compass_comm::{CtlOp, Event, EventBody, EventPort, Notifier, Reply, ReqPort};
+use compass_isa::ProcessId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn bench_event_port(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comm_ports");
+    g.sample_size(30);
+
+    // A consumer thread serving one port as fast as it can.
+    let notifier = Arc::new(Notifier::new());
+    let port = Arc::new(EventPort::new(ProcessId(0), Arc::clone(&notifier)));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let consumer = {
+        let port = Arc::clone(&port);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                if port.take().is_some() {
+                    port.reply(Reply::latency(1));
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    };
+    g.bench_function("event_port_roundtrip", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            port.post(Event {
+                pid: ProcessId(0),
+                time: t,
+                body: EventBody::Ctl(CtlOp::Yield),
+            })
+        });
+    });
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    consumer.join().expect("consumer");
+
+    // The OS port (mutex/condvar rendezvous).
+    let req: Arc<ReqPort<u64, u64>> = Arc::new(ReqPort::new());
+    let stop2 = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let server = {
+        let req = Arc::clone(&req);
+        let stop2 = Arc::clone(&stop2);
+        std::thread::spawn(move || loop {
+            if stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                return;
+            }
+            if let Some(q) = req.try_recv() {
+                req.respond(q + 1);
+            } else {
+                std::thread::yield_now();
+            }
+        })
+    };
+    g.bench_function("os_port_call", |b| {
+        b.iter(|| req.call(7));
+    });
+    stop2.store(true, std::sync::atomic::Ordering::Relaxed);
+    server.join().expect("server");
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_port);
+criterion_main!(benches);

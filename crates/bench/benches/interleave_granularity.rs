@@ -1,0 +1,34 @@
+//! S4 — interleaving-granularity ablation: posting every Nth memory
+//! reference (N = 1 is COMPASS's basic-block-exact interleaving, §2)
+//! trades wall-clock for accuracy. `report_interleave` prints the
+//! simulated-cycle drift.
+
+use compass::ArchConfig;
+use compass_bench::TpcdRun;
+use compass_workloads::db2lite::tpcd::{Query, TpcdConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_granularity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interleave_granularity");
+    g.sample_size(10);
+    for period in [1u32, 4, 16] {
+        g.bench_function(format!("period_{period}"), |b| {
+            b.iter(|| {
+                let mut run = TpcdRun::new(ArchConfig::ccnuma(2, 1));
+                run.workers = 2;
+                run.data = TpcdConfig {
+                    lineitems: 6_000,
+                    orders: 1_500,
+                    seed: 1,
+                };
+                run.query = Query::Q1(1_600);
+                run.sample_period = period;
+                run.run()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_granularity);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Architecture-model micro-benchmarks (the per-event model cost behind
+//! Table 2's simple-vs-complex backend split, and the S3 memory-system
+//! study at the component level): one `Hierarchy::access` under each
+//! memory system, on hit and miss paths.
+
+use compass_arch::{Access, AccessClass, ArchConfig, Hierarchy};
+use compass_mem::PAddr;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn read() -> Access {
+    Access {
+        write: false,
+        class: AccessClass::User,
+    }
+}
+
+fn bench_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memsys_access");
+    g.sample_size(50);
+    for (name, arch) in [
+        ("simple", ArchConfig::simple_smp(4)),
+        ("ccnuma", ArchConfig::ccnuma(2, 2)),
+        ("coma", ArchConfig::coma(2, 2)),
+    ] {
+        g.bench_function(format!("{name}/l1_hit"), |b| {
+            let mut h = Hierarchy::new(arch.clone());
+            let p = PAddr(0x4000);
+            h.access(0, p, read(), 0, 0);
+            let mut t = 0;
+            b.iter(|| {
+                t += 1;
+                h.access(0, p, read(), 0, t)
+            });
+        });
+        let nodes = arch.nodes;
+        g.bench_function(format!("{name}/streaming_miss"), |b| {
+            let mut h = Hierarchy::new(arch.clone());
+            let mut addr = 0u64;
+            let mut t = 0;
+            b.iter(|| {
+                addr += 4096; // fresh page: always misses
+                t += 100;
+                h.access(0, PAddr(addr), read(), (addr as usize >> 12) % nodes, t)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_access);
+criterion_main!(benches);

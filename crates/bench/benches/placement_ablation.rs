@@ -1,0 +1,38 @@
+//! S2 — page-placement ablation: round-robin / block / first-touch homes
+//! for the parallel TPC-D scan on CC-NUMA (§3.3.1). `report_placement`
+//! prints the remote-access fractions.
+
+use compass::{ArchConfig, PlacementPolicy, SchedPolicy};
+use compass_bench::TpcdRun;
+use compass_workloads::db2lite::tpcd::{Query, TpcdConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement_ablation");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("first_touch", PlacementPolicy::FirstTouch),
+        ("round_robin", PlacementPolicy::RoundRobin),
+        ("block16", PlacementPolicy::Block(16)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut run = TpcdRun::new(ArchConfig::ccnuma(2, 2));
+                run.workers = 4;
+                run.data = TpcdConfig {
+                    lineitems: 6_000,
+                    orders: 1_500,
+                    seed: 1,
+                };
+                run.query = Query::Q1(1_600);
+                run.placement = policy;
+                run.sched = SchedPolicy::Affinity;
+                run.run()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! S1 — scheduler ablation: the oversubscribed TPC-C mix under FCFS vs
+//! the affinity scheduler, with and without pre-emption (§3.3.2).
+//! `report_sched` prints dispatch/migration/TLB statistics.
+
+use compass::{ArchConfig, SchedPolicy};
+use compass_bench::run_tpcc;
+use compass_workloads::db2lite::tpcc::TpccConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_sched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_ablation");
+    g.sample_size(10);
+    let cfg = TpccConfig {
+        districts: 2,
+        customers: 16,
+        items: 32,
+        txns_per_terminal: 4,
+        new_order_pct: 50,
+        seed: 7,
+    };
+    for (name, sched, preempt) in [
+        ("fcfs", SchedPolicy::Fcfs, None),
+        ("affinity", SchedPolicy::Affinity, None),
+        ("fcfs_preempt", SchedPolicy::Fcfs, Some(400_000u64)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| run_tpcc(ArchConfig::ccnuma(2, 1), 4, cfg, sched, preempt))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

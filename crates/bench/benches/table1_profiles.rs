@@ -1,0 +1,58 @@
+//! T1 — end-to-end profile benchmarks: the three commercial workloads of
+//! Table 1 at bench scale. Each iteration is a complete simulation
+//! (frontends + OS server + backend); the measured time is the simulator's
+//! wall-clock cost for that workload. `report_table1` prints the actual
+//! user/OS shares.
+
+use compass::{ArchConfig, SchedPolicy};
+use compass_bench::{run_specweb, run_tpcc, TpcdRun};
+use compass_workloads::db2lite::tpcc::TpccConfig;
+use compass_workloads::db2lite::tpcd::{Query, TpcdConfig};
+use compass_workloads::httplite::FileSetConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_profiles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_profiles");
+    g.sample_size(10);
+
+    g.bench_function("specweb_httplite", |b| {
+        b.iter(|| run_specweb(ArchConfig::ccnuma(2, 2), 2, FileSetConfig { dirs: 1 }, 16, 4))
+    });
+
+    g.bench_function("tpcd_db2lite", |b| {
+        b.iter(|| {
+            let mut run = TpcdRun::new(ArchConfig::ccnuma(2, 2));
+            run.workers = 2;
+            run.data = TpcdConfig {
+                lineitems: 6_000,
+                orders: 1_500,
+                seed: 1,
+            };
+            run.query = Query::Q1(1_600);
+            run.run()
+        })
+    });
+
+    g.bench_function("tpcc_db2lite", |b| {
+        b.iter(|| {
+            run_tpcc(
+                ArchConfig::ccnuma(2, 2),
+                2,
+                TpccConfig {
+                    districts: 2,
+                    customers: 16,
+                    items: 32,
+                    txns_per_terminal: 4,
+                    new_order_pct: 50,
+                    seed: 7,
+                },
+                SchedPolicy::Fcfs,
+                None,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_profiles);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Quick throughput calibration: events per second of host wall-clock at
+//! a small TPC-D scale. Used to size the report-binary scales.
+
+use compass::ArchConfig;
+use compass_bench::{timed, TpcdRun};
+use compass_workloads::db2lite::tpcd::TpcdConfig;
+
+fn main() {
+    for (name, arch) in [
+        ("simple", ArchConfig::simple_smp(4)),
+        ("ccnuma", ArchConfig::ccnuma(2, 2)),
+    ] {
+        let mut run = TpcdRun::new(arch);
+        run.data = TpcdConfig {
+            lineitems: 20_000,
+            orders: 5_000,
+            seed: 1,
+        };
+        run.workers = 2;
+        let ((report, _), wall) = timed(|| run.run());
+        println!(
+            "{name}: {} events in {:?} -> {:.0} events/s, {} sim cycles",
+            report.backend.events,
+            wall,
+            report.backend.events as f64 / wall.as_secs_f64(),
+            report.backend.global_cycles
+        );
+    }
+}

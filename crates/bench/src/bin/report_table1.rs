@@ -1,0 +1,89 @@
+//! **Table 1 — "User vs. OS time"** (paper §3).
+//!
+//! Reproduces the profiling table that motivated COMPASS's category-1 OS
+//! set: the share of total CPU time spent in user code, interrupt
+//! handlers, and the kernel, for SPECWeb/Apache-like serving, TPC-D-like
+//! decision support and TPC-C-like OLTP on a 4-way SMP — plus the
+//! scientific contrast case and the per-syscall breakdown the paper
+//! quotes ("about 42% is spent in a handful of OS calls, such as kwritev,
+//! kreadv, select, statx, connect, open, close, naccept and send").
+//!
+//! Paper values (4-way AIX/PowerPC SMP, total CPU time excl. I/O wait):
+//!
+//! | benchmark      | user  | OS total | interrupt | kernel |
+//! |----------------|-------|----------|-----------|--------|
+//! | SPECWeb/Apache | 14.9% | 85.1%    | 37.8%     | 47.3%  |
+//! | TPCD/DB2 100MB | 81%   | 19%      | 8.6%      | 10.4%  |
+//! | TPCC/DB2 400MB | 79%   | 21%      | 14.6%     | 6.4%   |
+
+use compass::report::{format_syscall_table, format_table1};
+use compass::{ArchConfig, SchedPolicy};
+use compass_bench::{run_specweb, run_sci, run_tpcc, TpcdRun};
+use compass_workloads::db2lite::tpcd::{Query, TpcdConfig};
+use compass_workloads::db2lite::tpcc::TpccConfig;
+use compass_workloads::httplite::FileSetConfig;
+use compass_workloads::sci::SciConfig;
+
+fn main() {
+    let arch = || ArchConfig::ccnuma(2, 2); // 4 CPUs, complex backend
+    println!("== Table 1: User vs. OS time (4 CPUs, complex backend) ==\n");
+    println!("paper: SPECWeb/Apache  user 14.9%  OS 85.1% (interrupt 37.8%, kernel 47.3%)");
+    println!("paper: TPCD/DB2        user 81%    OS 19%   (interrupt  8.6%, kernel 10.4%)");
+    println!("paper: TPCC/DB2        user 79%    OS 21%   (interrupt 14.6%, kernel  6.4%)\n");
+
+    // --- SPECWeb / httplite ---
+    let web = run_specweb(arch(), 4, FileSetConfig { dirs: 2 }, 120, 6);
+    println!("{}", format_table1("SPECWeb/httplite", &web));
+
+    // --- TPC-D / db2lite ---
+    let mut dss = TpcdRun::new(arch());
+    dss.workers = 4;
+    dss.data = TpcdConfig {
+        lineitems: 60_000,
+        orders: 15_000,
+        seed: 19980401,
+    };
+    dss.query = Query::Q1(1_600);
+    dss.pool_pages = 96;
+    let (dss_report, _) = dss.run();
+    println!("{}", format_table1("TPCD/db2lite", &dss_report));
+
+    // --- TPC-C / db2lite ---
+    let (oltp, _) = run_tpcc(
+        arch(),
+        4,
+        TpccConfig {
+            districts: 4,
+            customers: 32,
+            items: 64,
+            txns_per_terminal: 40,
+            new_order_pct: 50,
+            seed: 7,
+        },
+        SchedPolicy::Fcfs,
+        None,
+    );
+    println!("{}", format_table1("TPCC/db2lite", &oltp));
+
+    // --- Scientific contrast (paper §1) ---
+    let sci = run_sci(
+        arch(),
+        SciConfig {
+            nprocs: 4,
+            rows: 48,
+            cols: 96,
+            iters: 3,
+            ..Default::default()
+        },
+    );
+    println!("{}", format_table1("SPLASH-like sci", &sci));
+
+    println!("\n-- SPECWeb/httplite per-syscall kernel time --");
+    println!("{}", format_syscall_table(&web));
+    println!("-- TPCC/db2lite per-syscall kernel time --");
+    println!("{}", format_syscall_table(&oltp));
+    println!(
+        "SPECWeb interrupt-handler cycles by source [disk, net, timer]: {:?}",
+        web.intr_cycles
+    );
+}

@@ -1,0 +1,289 @@
+//! The device postbox shared between backend device models and the OS
+//! server's interrupt handlers.
+//!
+//! Backend devices (disk controllers, the Ethernet NIC, the interval
+//! timer — §3.4) deposit completion records and received frames here and
+//! raise the corresponding interrupt-request flag. Kernel interrupt-handler
+//! code (bottom half, §3.2) drains the queues under a simulated kernel
+//! lock, so the *simulated* drain order is deterministic; the host-level
+//! mutexes below only provide memory safety.
+
+use compass_isa::{ConnId, CpuId, Cycles, DiskId, NicId};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A completed disk transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskCompletion {
+    /// The disk that finished.
+    pub disk: DiskId,
+    /// The token from the originating [`crate::DevCmd`].
+    pub token: u32,
+    /// True for writes.
+    pub write: bool,
+    /// Global simulated completion time.
+    pub time: Cycles,
+}
+
+/// Kinds of Ethernet frames exchanged with the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Connection request (client SYN).
+    Syn,
+    /// Data segment.
+    Data,
+    /// A pure ACK for server-transmitted data (input-side TCP processing
+    /// with no payload; a large share of a busy web server's interrupt
+    /// time).
+    Ack,
+    /// Connection teardown.
+    Fin,
+}
+
+/// A received Ethernet frame (client → server direction; server → client
+/// traffic is a [`crate::DevCmd::NetTx`] event consumed by the traffic
+/// source model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Receiving NIC.
+    pub nic: NicId,
+    /// Connection the frame belongs to.
+    pub conn: ConnId,
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Functional payload (e.g. an HTTP request line).
+    pub payload: Vec<u8>,
+    /// Global simulated arrival time.
+    pub time: Cycles,
+}
+
+/// An interval-timer expiry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerTick {
+    /// The CPU whose timer fired.
+    pub cpu: CpuId,
+    /// Global simulated expiry time.
+    pub time: Cycles,
+}
+
+/// The postbox itself.
+#[derive(Default)]
+pub struct DevShared {
+    disk: Mutex<VecDeque<DiskCompletion>>,
+    nic_rx: Mutex<VecDeque<Frame>>,
+    timer: Mutex<VecDeque<TimerTick>>,
+    disk_total: AtomicU64,
+    frames_total: AtomicU64,
+    ticks_total: AtomicU64,
+}
+
+impl DevShared {
+    /// Creates an empty postbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposits a disk completion (backend side).
+    pub fn push_disk(&self, c: DiskCompletion) {
+        self.disk.lock().push_back(c);
+        self.disk_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drains all pending disk completions (interrupt handler side).
+    pub fn drain_disk(&self) -> Vec<DiskCompletion> {
+        self.disk.lock().drain(..).collect()
+    }
+
+    /// Drains disk completions with `time <= now`.
+    ///
+    /// Interrupt handlers run at a definite simulated time; records the
+    /// backend deposited for *later* simulated times must stay queued even
+    /// if they have already arrived in host time — this filter is what
+    /// keeps handler behaviour deterministic.
+    pub fn drain_disk_until(&self, now: Cycles) -> Vec<DiskCompletion> {
+        let mut q = self.disk.lock();
+        let mut out = Vec::new();
+        q.retain(|c| {
+            if c.time <= now {
+                out.push(*c);
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
+    /// Deposits a received frame (backend NIC model).
+    pub fn push_frame(&self, f: Frame) {
+        self.nic_rx.lock().push_back(f);
+        self.frames_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drains all pending frames (Ethernet interrupt handler).
+    pub fn drain_frames(&self) -> Vec<Frame> {
+        self.nic_rx.lock().drain(..).collect()
+    }
+
+    /// Drains frames with `time <= now` (see [`DevShared::drain_disk_until`]).
+    pub fn drain_frames_until(&self, now: Cycles) -> Vec<Frame> {
+        let mut q = self.nic_rx.lock();
+        let mut out = Vec::new();
+        q.retain(|f| {
+            if f.time <= now {
+                out.push(f.clone());
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
+    /// Deposits a timer tick (backend interval timer).
+    pub fn push_tick(&self, t: TimerTick) {
+        self.timer.lock().push_back(t);
+        self.ticks_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drains all pending timer ticks (timer interrupt handler).
+    pub fn drain_ticks(&self) -> Vec<TimerTick> {
+        self.timer.lock().drain(..).collect()
+    }
+
+    /// Drains timer ticks with `time <= now`
+    /// (see [`DevShared::drain_disk_until`]).
+    pub fn drain_ticks_until(&self, now: Cycles) -> Vec<TimerTick> {
+        let mut q = self.timer.lock();
+        let mut out = Vec::new();
+        q.retain(|t| {
+            if t.time <= now {
+                out.push(*t);
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
+    /// True if any queue holds work.
+    pub fn has_work(&self) -> bool {
+        !self.disk.lock().is_empty()
+            || !self.nic_rx.lock().is_empty()
+            || !self.timer.lock().is_empty()
+    }
+
+    /// True if any queue holds work due at or before `now`.
+    pub fn has_work_until(&self, now: Cycles) -> bool {
+        self.disk.lock().iter().any(|c| c.time <= now)
+            || self.nic_rx.lock().iter().any(|f| f.time <= now)
+            || self.timer.lock().iter().any(|t| t.time <= now)
+    }
+
+    /// Lifetime totals `(disk completions, frames, ticks)`.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.disk_total.load(Ordering::Relaxed),
+            self.frames_total.load(Ordering::Relaxed),
+            self.ticks_total.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_queue_fifo() {
+        let d = DevShared::new();
+        d.push_disk(DiskCompletion {
+            disk: DiskId(0),
+            token: 1,
+            write: false,
+            time: 10,
+        });
+        d.push_disk(DiskCompletion {
+            disk: DiskId(0),
+            token: 2,
+            write: true,
+            time: 20,
+        });
+        let got = d.drain_disk();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].token, 1);
+        assert_eq!(got[1].token, 2);
+        assert!(d.drain_disk().is_empty());
+        assert_eq!(d.totals().0, 2);
+    }
+
+    #[test]
+    fn frames_carry_payload() {
+        let d = DevShared::new();
+        d.push_frame(Frame {
+            nic: NicId(0),
+            conn: ConnId(7),
+            kind: FrameKind::Data,
+            payload: b"GET /file1 HTTP/1.0".to_vec(),
+            time: 5,
+        });
+        let got = d.drain_frames();
+        assert_eq!(got[0].payload, b"GET /file1 HTTP/1.0");
+        assert_eq!(got[0].kind, FrameKind::Data);
+    }
+
+    #[test]
+    fn time_filtered_drain_leaves_future_records() {
+        let d = DevShared::new();
+        for (tok, t) in [(1u32, 10u64), (2, 20), (3, 30)] {
+            d.push_disk(DiskCompletion {
+                disk: DiskId(0),
+                token: tok,
+                write: false,
+                time: t,
+            });
+        }
+        let got = d.drain_disk_until(20);
+        assert_eq!(got.iter().map(|c| c.token).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(d.has_work_until(30));
+        assert!(!d.has_work_until(29));
+        let rest = d.drain_disk_until(100);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].token, 3);
+    }
+
+    #[test]
+    fn frame_and_tick_filters_work() {
+        let d = DevShared::new();
+        d.push_frame(Frame {
+            nic: NicId(0),
+            conn: ConnId(1),
+            kind: FrameKind::Syn,
+            payload: vec![],
+            time: 50,
+        });
+        d.push_tick(TimerTick {
+            cpu: CpuId(0),
+            time: 70,
+        });
+        assert!(d.drain_frames_until(49).is_empty());
+        assert_eq!(d.drain_frames_until(50).len(), 1);
+        assert!(d.drain_ticks_until(69).is_empty());
+        assert_eq!(d.drain_ticks_until(70).len(), 1);
+    }
+
+    #[test]
+    fn has_work_reflects_any_queue() {
+        let d = DevShared::new();
+        assert!(!d.has_work());
+        d.push_tick(TimerTick {
+            cpu: CpuId(0),
+            time: 1,
+        });
+        assert!(d.has_work());
+        d.drain_ticks();
+        assert!(!d.has_work());
+    }
+}

@@ -1,0 +1,42 @@
+//! The COMPASS **Communicator**.
+//!
+//! "The *Communicator* provides the interface between the frontend
+//! application processes and the backend simulation process. To reduce
+//! communication overhead to a minimum, this interface uses custom built
+//! Shared Memory Message Passing incorporating a shared memory segment and
+//! a set of blocking and non-blocking message passing primitives." (§2)
+//!
+//! In this reproduction the "shared memory segment" is process memory
+//! shared between host threads; the blocking primitives are built from
+//! atomics plus `thread::park`/`unpark` (see *Rust Atomics and Locks*,
+//! ch. 4–5, whose single-slot channel design the [`rendezvous`] module
+//! follows).
+//!
+//! Contents:
+//!
+//! * [`event`] — the event/reply ABI between frontends and the backend;
+//! * [`rendezvous`] — the single-slot blocking rendezvous primitive;
+//! * [`port`] — event ports (hot, atomics-based) and generic request ports
+//!   (OS ports use these);
+//! * [`cpu_states`] — the shared "CPU-states" area with interrupt request
+//!   and interrupt enable bits (§3.2);
+//! * [`devshared`] — the device postbox: completion records and network
+//!   frames deposited by backend device models for the OS server's
+//!   interrupt handlers;
+//! * [`notifier`] — the backend wake-up channel.
+
+pub mod cpu_states;
+pub mod devshared;
+pub mod event;
+pub mod notifier;
+pub mod port;
+pub mod rendezvous;
+
+pub use cpu_states::{CpuStates, IrqSource};
+pub use devshared::{DevShared, DiskCompletion, Frame, FrameKind, TimerTick};
+pub use event::{
+    BlockReason, CtlOp, DevCmd, Event, EventBody, ExecMode, MemRefKind, Reply, ReplyData,
+    SyncOp,
+};
+pub use notifier::Notifier;
+pub use port::{EventPort, ReqPort};

@@ -1,0 +1,92 @@
+//! Backend wake-up channel.
+//!
+//! The backend "keeps scanning the event ports of all running frontend
+//! processes" (§2). A busy spin would burn a host CPU, so ports notify this
+//! channel after every post and the backend sleeps between scans when no
+//! event is actionable. An epoch counter closes the race between a scan
+//! that finds nothing and a post that lands just before the backend sleeps.
+
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// An epoch-counting notification channel (many notifiers, one waiter).
+#[derive(Default)]
+pub struct Notifier {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Notifier {
+    /// Creates a fresh notifier at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current epoch; read this *before* scanning, pass it to
+    /// [`Notifier::wait_past`] after an empty scan.
+    pub fn epoch(&self) -> u64 {
+        *self.epoch.lock()
+    }
+
+    /// Advances the epoch and wakes the waiter.
+    pub fn notify(&self) {
+        let mut e = self.epoch.lock();
+        *e += 1;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the epoch exceeds `seen`, or `timeout` elapses.
+    /// Returns the epoch observed on wake and whether it advanced.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> (u64, bool) {
+        let mut e = self.epoch.lock();
+        if *e > seen {
+            return (*e, true);
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        while *e <= seen {
+            if self.cv.wait_until(&mut e, deadline).timed_out() {
+                return (*e, *e > seen);
+            }
+        }
+        (*e, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn notify_wakes_waiter() {
+        let n = Arc::new(Notifier::new());
+        let seen = n.epoch();
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            n2.notify();
+        });
+        let (e, advanced) = n.wait_past(seen, Duration::from_secs(5));
+        assert!(advanced);
+        assert!(e > seen);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn missed_notify_is_not_lost() {
+        let n = Notifier::new();
+        let seen = n.epoch();
+        n.notify(); // arrives "before" the wait
+        let (_, advanced) = n.wait_past(seen, Duration::from_millis(1));
+        assert!(advanced, "epoch counting must absorb early notifies");
+    }
+
+    #[test]
+    fn timeout_reports_no_progress() {
+        let n = Notifier::new();
+        let seen = n.epoch();
+        let (_, advanced) = n.wait_past(seen, Duration::from_millis(5));
+        assert!(!advanced);
+    }
+}

@@ -1,0 +1,211 @@
+//! Event ports and OS-style request ports.
+//!
+//! "Contained inside each application process, the *event port* is
+//! responsible for communicating with the backend… The event port also
+//! contains the per-process and per-event data structures which are shared
+//! between the frontend and backend processes." (§2)
+//!
+//! The [`EventPort`] wraps the atomics-based [`crate::rendezvous::EventSlot`]
+//! and notifies the backend after each post. The [`ReqPort`] is the generic
+//! blocking request/response rendezvous used for OS ports ("The OS port is
+//! used to accept OS calls from an application process", §3.1); OS calls
+//! are orders of magnitude rarer than memory events, so a mutex/condvar
+//! implementation is appropriate there.
+
+use crate::event::{Event, Reply};
+use crate::notifier::Notifier;
+use crate::rendezvous::EventSlot;
+use compass_isa::{Cycles, ProcessId};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// A per-process event port: the frontend (or its paired OS thread) posts
+/// timed events; the backend scans, takes, and replies.
+pub struct EventPort {
+    /// The process this port belongs to.
+    pub pid: ProcessId,
+    slot: EventSlot,
+    notifier: Arc<Notifier>,
+}
+
+impl EventPort {
+    /// Creates a port for `pid` that notifies `notifier` on every post.
+    pub fn new(pid: ProcessId, notifier: Arc<Notifier>) -> Self {
+        Self {
+            pid,
+            slot: EventSlot::new(),
+            notifier,
+        }
+    }
+
+    /// Posts an event and blocks until the backend replies.
+    pub fn post(&self, ev: Event) -> Reply {
+        debug_assert_eq!(ev.pid, self.pid, "event posted on foreign port");
+        // The notification must reach the backend *after* the slot is
+        // POSTED; EventSlot::post performs the Release store before
+        // returning control… but it also blocks. Notify from inside the
+        // post path instead: the slot exposes the state machine, so we
+        // split post into publish + wait.
+        self.slot.post_with(ev, || self.notifier.notify())
+    }
+
+    /// Backend: peeks the pending event's timestamp.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.slot.peek_time()
+    }
+
+    /// Backend: takes the pending event.
+    pub fn take(&self) -> Option<Event> {
+        self.slot.take()
+    }
+
+    /// Backend: replies to the taken event (possibly much later — deferred
+    /// replies implement blocking calls and descheduling).
+    pub fn reply(&self, r: Reply) {
+        self.slot.reply(r);
+    }
+
+    /// True while the backend holds this port's event without replying.
+    pub fn is_held(&self) -> bool {
+        self.slot.is_held()
+    }
+}
+
+/// A blocking request/response rendezvous (the OS port).
+///
+/// One client (the application process) and one server (its paired OS
+/// thread). `call` blocks until the server `respond`s; `recv` blocks until
+/// a request arrives.
+pub struct ReqPort<Q, S> {
+    inner: Mutex<ReqInner<Q, S>>,
+    to_server: Condvar,
+    to_client: Condvar,
+}
+
+struct ReqInner<Q, S> {
+    req: Option<Q>,
+    resp: Option<S>,
+}
+
+impl<Q, S> Default for ReqPort<Q, S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Q, S> ReqPort<Q, S> {
+    /// Creates an idle port.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(ReqInner {
+                req: None,
+                resp: None,
+            }),
+            to_server: Condvar::new(),
+            to_client: Condvar::new(),
+        }
+    }
+
+    /// Client: sends a request and blocks for the response.
+    pub fn call(&self, q: Q) -> S {
+        let mut g = self.inner.lock();
+        assert!(
+            g.req.is_none() && g.resp.is_none(),
+            "ReqPort::call while a call is outstanding"
+        );
+        g.req = Some(q);
+        self.to_server.notify_one();
+        while g.resp.is_none() {
+            self.to_client.wait(&mut g);
+        }
+        g.resp.take().expect("response present")
+    }
+
+    /// Server: blocks until a request arrives and takes it.
+    pub fn recv(&self) -> Q {
+        let mut g = self.inner.lock();
+        while g.req.is_none() {
+            self.to_server.wait(&mut g);
+        }
+        g.req.take().expect("request present")
+    }
+
+    /// Server: responds to the request taken by the last [`ReqPort::recv`].
+    pub fn respond(&self, s: S) {
+        let mut g = self.inner.lock();
+        debug_assert!(g.resp.is_none(), "double respond");
+        g.resp = Some(s);
+        self.to_client.notify_one();
+    }
+
+    /// Server: non-blocking receive.
+    pub fn try_recv(&self) -> Option<Q> {
+        self.inner.lock().req.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CtlOp, EventBody};
+    use std::thread;
+
+    #[test]
+    fn event_port_notifies_backend() {
+        let notifier = Arc::new(Notifier::new());
+        let port = Arc::new(EventPort::new(ProcessId(3), Arc::clone(&notifier)));
+        let seen = notifier.epoch();
+        let p2 = Arc::clone(&port);
+        let poster = thread::spawn(move || {
+            p2.post(Event {
+                pid: ProcessId(3),
+                time: 11,
+                body: EventBody::Ctl(CtlOp::Yield),
+            })
+        });
+        // Backend side: wait for the notification, then serve.
+        let (_, advanced) = notifier.wait_past(seen, std::time::Duration::from_secs(5));
+        assert!(advanced);
+        assert_eq!(port.peek_time(), Some(11));
+        let ev = port.take().unwrap();
+        assert_eq!(ev.pid, ProcessId(3));
+        port.reply(Reply::latency(2));
+        assert_eq!(poster.join().unwrap().latency, 2);
+    }
+
+    #[test]
+    fn req_port_roundtrip() {
+        let port: Arc<ReqPort<String, usize>> = Arc::new(ReqPort::new());
+        let p2 = Arc::clone(&port);
+        let server = thread::spawn(move || {
+            let q = p2.recv();
+            p2.respond(q.len());
+        });
+        let resp = port.call("hello".to_string());
+        assert_eq!(resp, 5);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn req_port_serialises_calls() {
+        let port: Arc<ReqPort<u32, u32>> = Arc::new(ReqPort::new());
+        let p2 = Arc::clone(&port);
+        let server = thread::spawn(move || {
+            for _ in 0..100 {
+                let q = p2.recv();
+                p2.respond(q * 2);
+            }
+        });
+        for i in 0..100 {
+            assert_eq!(port.call(i), i * 2);
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn try_recv_is_non_blocking() {
+        let port: ReqPort<u32, u32> = ReqPort::new();
+        assert_eq!(port.try_recv(), None);
+    }
+}

@@ -1,0 +1,266 @@
+//! The single-slot blocking rendezvous underlying every event port.
+//!
+//! "When the event port is invoked, it notifies the backend that it has a
+//! message, and in the normal case waits for a reply, which prevents the
+//! frontend process from proceeding." (§2)
+//!
+//! The slot is a single-producer (the frontend or its paired OS thread —
+//! never both at once, the OS-port rendezvous guarantees that) /
+//! single-consumer (the backend) channel with four states:
+//!
+//! ```text
+//!   EMPTY --post--> POSTED --take--> TAKEN --reply--> REPLIED --ack--> EMPTY
+//! ```
+//!
+//! `post` blocks until the reply arrives; the backend may *hold* a taken
+//! event arbitrarily long (deferred replies implement blocking OS calls,
+//! lock waits and descheduling). The design follows the one-shot channel of
+//! *Rust Atomics and Locks* ch. 5, extended with the TAKEN state and a
+//! lock-free `peek` of the event timestamp so the backend's least-time
+//! scanner never locks.
+
+use crate::event::{Event, Reply};
+use compass_isa::Cycles;
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::thread::{self, Thread};
+
+const EMPTY: u32 = 0;
+const POSTED: u32 = 1;
+const TAKEN: u32 = 2;
+const REPLIED: u32 = 3;
+
+/// A single-slot event rendezvous.
+///
+/// The poster side and consumer side may live on different threads; the
+/// state machine synchronises payload access, so the `UnsafeCell`s are
+/// data-race free (acquire/release pairs on `state`).
+pub struct EventSlot {
+    state: CachePadded<AtomicU32>,
+    /// Event timestamp mirror for lock-free peeking.
+    time: AtomicU64,
+    event: UnsafeCell<Event>,
+    reply: UnsafeCell<Reply>,
+    /// The thread currently blocked in `post`, to be unparked on reply.
+    poster: Mutex<Option<Thread>>,
+}
+
+// SAFETY: `event` is written by the poster before the Release store of
+// POSTED and read by the consumer after an Acquire load; `reply` is written
+// by the consumer before the Release store of REPLIED and read by the
+// poster after an Acquire load. The state machine admits exactly one writer
+// per cell per cycle.
+unsafe impl Sync for EventSlot {}
+unsafe impl Send for EventSlot {}
+
+impl Default for EventSlot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventSlot {
+    /// Creates an empty slot.
+    pub fn new() -> Self {
+        // The placeholder contents are never read: state gates access.
+        let placeholder_event = Event {
+            pid: compass_isa::ProcessId(u32::MAX),
+            time: 0,
+            body: crate::event::EventBody::Ctl(crate::event::CtlOp::Yield),
+        };
+        EventSlot {
+            state: CachePadded::new(AtomicU32::new(EMPTY)),
+            time: AtomicU64::new(0),
+            event: UnsafeCell::new(placeholder_event),
+            reply: UnsafeCell::new(Reply::latency(0)),
+            poster: Mutex::new(None),
+        }
+    }
+
+    /// Posts `ev` and blocks until the consumer replies.
+    ///
+    /// # Panics
+    /// Panics if the slot is not EMPTY (two posters, or a poster that did
+    /// not wait for its previous reply — both violate the port protocol).
+    pub fn post(&self, ev: Event) -> Reply {
+        self.post_with(ev, || {})
+    }
+
+    /// Like [`EventSlot::post`], but runs `after_publish` once the event is
+    /// visible to the consumer and before blocking — the hook ports use to
+    /// notify the backend without racing the publish.
+    pub fn post_with(&self, ev: Event, after_publish: impl FnOnce()) -> Reply {
+        *self.poster.lock() = Some(thread::current());
+        // SAFETY: slot is EMPTY (asserted below via the CAS), so the
+        // consumer is not reading `event`.
+        unsafe { *self.event.get() = ev };
+        self.time.store(ev.time, Ordering::Relaxed);
+        let prev = self
+            .state
+            .compare_exchange(EMPTY, POSTED, Ordering::Release, Ordering::Relaxed);
+        assert!(prev.is_ok(), "EventSlot::post on non-empty slot");
+        after_publish();
+        loop {
+            if self.state.load(Ordering::Acquire) == REPLIED {
+                break;
+            }
+            thread::park();
+        }
+        // SAFETY: REPLIED observed with Acquire; consumer wrote reply
+        // before its Release store and will not touch it again.
+        let r = unsafe { *self.reply.get() };
+        self.state.store(EMPTY, Ordering::Release);
+        r
+    }
+
+    /// Non-destructively checks for a posted event; returns its timestamp.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Cycles> {
+        if self.state.load(Ordering::Acquire) == POSTED {
+            Some(self.time.load(Ordering::Relaxed))
+        } else {
+            None
+        }
+    }
+
+    /// True while the consumer holds a taken-but-unreplied event (the
+    /// poster is suspended: blocked OS call, lock wait, or descheduled).
+    #[inline]
+    pub fn is_held(&self) -> bool {
+        self.state.load(Ordering::Acquire) == TAKEN
+    }
+
+    /// Takes the posted event for processing. Returns `None` if no event
+    /// is posted.
+    pub fn take(&self) -> Option<Event> {
+        if self
+            .state
+            .compare_exchange(POSTED, TAKEN, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
+        // SAFETY: we hold the TAKEN state; poster wrote event before
+        // POSTED (Release) and is parked until REPLIED.
+        Some(unsafe { *self.event.get() })
+    }
+
+    /// Replies to a previously taken event and wakes the poster.
+    ///
+    /// # Panics
+    /// Panics if no event is held.
+    pub fn reply(&self, r: Reply) {
+        // SAFETY: state is TAKEN: the poster is parked and not accessing
+        // `reply`; we are the only consumer.
+        unsafe { *self.reply.get() = r };
+        let prev =
+            self.state
+                .compare_exchange(TAKEN, REPLIED, Ordering::Release, Ordering::Relaxed);
+        assert!(prev.is_ok(), "EventSlot::reply without a taken event");
+        if let Some(t) = self.poster.lock().as_ref() {
+            t.unpark();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CtlOp, EventBody};
+    use compass_isa::ProcessId;
+    use std::sync::Arc;
+
+    fn ev(time: Cycles) -> Event {
+        Event {
+            pid: ProcessId(1),
+            time,
+            body: EventBody::Ctl(CtlOp::Yield),
+        }
+    }
+
+    #[test]
+    fn post_take_reply_roundtrip() {
+        let slot = Arc::new(EventSlot::new());
+        let s2 = Arc::clone(&slot);
+        let consumer = thread::spawn(move || {
+            // Spin until posted, then take and reply.
+            loop {
+                if let Some(t) = s2.peek_time() {
+                    assert_eq!(t, 42);
+                    let e = s2.take().unwrap();
+                    assert_eq!(e.time, 42);
+                    s2.reply(Reply::latency(7));
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        });
+        let r = slot.post(ev(42));
+        assert_eq!(r.latency, 7);
+        consumer.join().unwrap();
+        assert!(slot.peek_time().is_none());
+    }
+
+    #[test]
+    fn take_on_empty_returns_none() {
+        let slot = EventSlot::new();
+        assert!(slot.take().is_none());
+        assert!(slot.peek_time().is_none());
+        assert!(!slot.is_held());
+    }
+
+    #[test]
+    fn held_state_visible_during_deferred_reply() {
+        let slot = Arc::new(EventSlot::new());
+        let s2 = Arc::clone(&slot);
+        let poster = thread::spawn(move || s2.post(ev(1)));
+        // Wait for the post.
+        while slot.peek_time().is_none() {
+            std::thread::yield_now();
+        }
+        let _e = slot.take().unwrap();
+        assert!(slot.is_held());
+        assert!(slot.peek_time().is_none(), "taken event must not be re-peeked");
+        // Deferred reply.
+        thread::sleep(std::time::Duration::from_millis(10));
+        slot.reply(Reply::latency(99));
+        assert_eq!(poster.join().unwrap().latency, 99);
+        assert!(!slot.is_held());
+    }
+
+    #[test]
+    fn many_roundtrips_are_lossless() {
+        let slot = Arc::new(EventSlot::new());
+        let s2 = Arc::clone(&slot);
+        const N: u64 = 2_000;
+        let consumer = thread::spawn(move || {
+            let mut expected = 0;
+            while expected < N {
+                if let Some(t) = s2.peek_time() {
+                    assert_eq!(t, expected, "events must arrive in post order");
+                    let e = s2.take().unwrap();
+                    s2.reply(Reply::latency(e.time * 2));
+                    expected += 1;
+                } else {
+                    // Single-core hosts: spinning here starves the poster
+                    // for a whole scheduler timeslice per roundtrip.
+                    thread::yield_now();
+                }
+            }
+        });
+        for i in 0..N {
+            let r = slot.post(ev(i));
+            assert_eq!(r.latency, i * 2);
+        }
+        consumer.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "reply without a taken event")]
+    fn reply_without_take_panics() {
+        let slot = EventSlot::new();
+        slot.reply(Reply::latency(0));
+    }
+}

@@ -1,0 +1,72 @@
+//! Whole-simulation configuration.
+
+use compass_arch::ArchConfig;
+use compass_backend::BackendConfig;
+use compass_isa::TimingModel;
+use compass_os::KernelConfig;
+
+/// Everything a simulation run is parameterised by.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Backend (architecture + engine + scheduler + devices).
+    pub backend: BackendConfig,
+    /// OS-server cost model.
+    pub kernel: KernelConfig,
+    /// Frontend instruction timing.
+    pub timing: TimingModel,
+    /// OS-thread pool size; defaults to one per process at run time when
+    /// zero.
+    pub os_threads: usize,
+    /// Enable §3.2's user-mode pseudo-interrupt delivery in addition to
+    /// the bottom-half kernel daemon.
+    pub pseudo_irq: bool,
+    /// Interleaving granularity: post every Nth user memory reference
+    /// (1 = the paper's basic-block-exact interleaving).
+    pub sample_period: u32,
+}
+
+impl SimConfig {
+    /// Defaults around an architecture.
+    pub fn new(arch: ArchConfig) -> Self {
+        let backend = BackendConfig::new(arch);
+        let mut kernel = KernelConfig::default();
+        kernel.ndisks = backend.disks;
+        Self {
+            backend,
+            kernel,
+            timing: TimingModel::powerpc_604(),
+            os_threads: 0,
+            pseudo_irq: false,
+            sample_period: 1,
+        }
+    }
+
+    /// Validates cross-component consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.backend.validate()?;
+        if self.kernel.ndisks != self.backend.disks {
+            return Err(format!(
+                "kernel stripes over {} disks but the backend models {}",
+                self.kernel.ndisks, self.backend.disks
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        SimConfig::new(ArchConfig::ccnuma(2, 2)).validate().unwrap();
+    }
+
+    #[test]
+    fn disk_mismatch_is_caught() {
+        let mut c = SimConfig::new(ArchConfig::simple_smp(2));
+        c.kernel.ndisks = 7;
+        assert!(c.validate().is_err());
+    }
+}

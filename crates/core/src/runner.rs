@@ -1,0 +1,236 @@
+//! The simulation runner: builds the communicator, spawns the frontend
+//! processes, the OS server (threads + bottom-half daemon) and the
+//! backend, runs to completion, and collects every statistic.
+
+use crate::config::SimConfig;
+use compass_arch::ArchConfig;
+use compass_backend::devices::NullTraffic;
+use compass_backend::{Backend, BackendStats, TrafficSource};
+use compass_comm::{CpuStates, DevShared, EventPort, Notifier};
+use compass_frontend::{CpuCtx, FrontendStats, Process};
+use compass_isa::{Cycles, ProcessId};
+use compass_os::bufcache::BufStats;
+use compass_os::net::NetStats;
+use compass_os::{KernelShared, OsServer};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything a finished run reports.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Backend counters (time attribution, memory system, scheduler,
+    /// devices…).
+    pub backend: BackendStats,
+    /// Per-syscall `(name, count, cycles)`, sorted by cycles.
+    pub syscalls: Vec<(String, u64, u64)>,
+    /// Buffer-cache counters.
+    pub bufcache: BufStats,
+    /// Network-stack counters.
+    pub net: NetStats,
+    /// Interrupt-handler cycles by source `[disk, net, timer]`.
+    pub intr_cycles: [Cycles; 3],
+    /// Per-process frontend counters.
+    pub frontends: Vec<FrontendStats>,
+    /// Host wall-clock time of the simulation.
+    pub wall: Duration,
+    /// Number of application processes (the kernel daemon is `pid
+    /// app_processes`).
+    pub app_processes: usize,
+}
+
+impl RunReport {
+    /// Pids of the application processes.
+    pub fn app_pids(&self) -> impl Iterator<Item = usize> + '_ {
+        0..self.app_processes
+    }
+
+    /// Total simulated CPU cycles (user + kernel + interrupt, all
+    /// processes including the daemon's handler time).
+    pub fn total_cpu_cycles(&self) -> Cycles {
+        self.backend.procs.iter().map(|p| p.cpu_cycles()).sum()
+    }
+}
+
+/// Builds and runs one simulation.
+pub struct SimBuilder {
+    config: SimConfig,
+    processes: Vec<Box<dyn Process>>,
+    traffic: Option<Box<dyn TrafficSource>>,
+    prepare: Option<Box<dyn FnOnce(&KernelShared) + Send>>,
+}
+
+impl SimBuilder {
+    /// Starts from an architecture with default everything else.
+    pub fn new(arch: ArchConfig) -> Self {
+        Self {
+            config: SimConfig::new(arch),
+            processes: Vec::new(),
+            traffic: None,
+            prepare: None,
+        }
+    }
+
+    /// Starts from a full configuration.
+    pub fn with_config(config: SimConfig) -> Self {
+        Self {
+            config,
+            processes: Vec::new(),
+            traffic: None,
+            prepare: None,
+        }
+    }
+
+    /// Mutable access to the configuration.
+    pub fn config_mut(&mut self) -> &mut SimConfig {
+        &mut self.config
+    }
+
+    /// Adds a simulated application process; pids are assigned in call
+    /// order.
+    pub fn add_process(mut self, p: impl Process + 'static) -> Self {
+        self.processes.push(Box::new(p));
+        self
+    }
+
+    /// Installs the client-side traffic source (the SPECWeb-style trace
+    /// player).
+    pub fn traffic(mut self, t: impl TrafficSource + 'static) -> Self {
+        self.traffic = Some(Box::new(t));
+        self
+    }
+
+    /// Runs `f` against the functional kernel before simulation starts
+    /// (file-set population, database loading — not simulated, exactly
+    /// like the paper's pre-test file set generator).
+    pub fn prepare_kernel(mut self, f: impl FnOnce(&KernelShared) + Send + 'static) -> Self {
+        self.prepare = Some(Box::new(f));
+        self
+    }
+
+    /// Runs the simulation to completion.
+    pub fn run(self) -> RunReport {
+        let SimBuilder {
+            config,
+            processes,
+            traffic,
+            prepare,
+        } = self;
+        config.validate().expect("invalid simulation configuration");
+        let nprocs = processes.len();
+        assert!(nprocs > 0, "no processes to simulate");
+        let daemon_pid = ProcessId(nprocs as u32);
+        let ncpus = config.backend.arch.ncpus();
+
+        // --- Communicator ---
+        let notifier = Arc::new(Notifier::new());
+        let cpu_states = Arc::new(CpuStates::new(ncpus));
+        let devshared = Arc::new(DevShared::new());
+        let ports: Vec<Arc<EventPort>> = (0..=nprocs)
+            .map(|pid| Arc::new(EventPort::new(ProcessId(pid as u32), Arc::clone(&notifier))))
+            .collect();
+
+        // --- OS server ---
+        let kernel = KernelShared::new(config.kernel, Arc::clone(&devshared));
+        if let Some(f) = prepare {
+            f(&kernel);
+        }
+        let os_threads = if config.os_threads == 0 {
+            nprocs
+        } else {
+            config.os_threads
+        };
+        let os_server = OsServer::start(Arc::clone(&kernel), os_threads);
+        let daemon_handle =
+            os_server.start_daemon(daemon_pid, Arc::clone(&ports[daemon_pid.index()]));
+
+        // --- Backend ---
+        let backend = Backend::new(
+            config.backend.clone(),
+            ports.clone(),
+            Arc::clone(&notifier),
+            Arc::clone(&cpu_states),
+            Arc::clone(&devshared),
+            Some(daemon_pid),
+            traffic.unwrap_or_else(|| Box::new(NullTraffic)),
+        );
+        let started = Instant::now();
+        let backend_handle = std::thread::Builder::new()
+            .name("compass-backend".into())
+            .spawn(move || {
+                // A dead backend leaves every frontend parked forever;
+                // abort loudly instead of hanging the harness.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| backend.run()))
+                {
+                    Ok(outcome) => outcome,
+                    Err(e) => {
+                        let msg = e
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| e.downcast_ref::<&str>().copied())
+                            .unwrap_or("backend panicked");
+                        eprintln!("fatal: {msg}");
+                        std::process::abort();
+                    }
+                }
+            })
+            .expect("spawn backend");
+
+        // --- Frontend processes ---
+        let mut proc_handles = Vec::with_capacity(nprocs);
+        for (pid, mut body) in processes.into_iter().enumerate() {
+            let port = Arc::clone(&ports[pid]);
+            let os_server = Arc::clone(&os_server);
+            let cpu_states = Arc::clone(&cpu_states);
+            let timing = config.timing.clone();
+            let pseudo = config.pseudo_irq;
+            let sample_period = config.sample_period;
+            proc_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("app-process-{pid}"))
+                    .spawn(move || {
+                        let pid = ProcessId(pid as u32);
+                        let os = os_server.connect(pid, Arc::clone(&port));
+                        let mut cpu = CpuCtx::simulated(pid, port, os, cpu_states, timing);
+                        if pseudo {
+                            cpu.enable_pseudo_irq();
+                        }
+                        cpu.set_sample_period(sample_period);
+                        cpu.start();
+                        body.run(&mut cpu);
+                        cpu.exit();
+                        cpu.stats()
+                    })
+                    .expect("spawn application process"),
+            );
+        }
+
+        // --- Join ---
+        let frontends: Vec<FrontendStats> = proc_handles
+            .into_iter()
+            .map(|h| h.join().expect("application process panicked"))
+            .collect();
+        let outcome = backend_handle.join().expect("backend thread panicked");
+        daemon_handle.join().expect("kernel daemon panicked");
+        os_server.shutdown();
+        let wall = started.elapsed();
+
+        let bufcache = kernel.bufs.lock().stats();
+        let net = kernel.net.lock().stats;
+        let intr_cycles = [
+            kernel.intr_cycles[0].load(Ordering::Relaxed),
+            kernel.intr_cycles[1].load(Ordering::Relaxed),
+            kernel.intr_cycles[2].load(Ordering::Relaxed),
+        ];
+        RunReport {
+            backend: outcome.stats,
+            syscalls: kernel.stats.snapshot(),
+            bufcache,
+            net,
+            intr_cycles,
+            frontends,
+            wall,
+            app_processes: nprocs,
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the memory substrate: the allocator never
+//! hands out overlapping live blocks, page tables agree with a model map,
+//! and placement policies cover nodes as specified.
+
+use compass_mem::addr::{HEAP_BASE, HEAP_END};
+use compass_mem::{
+    HomeMap, PageFlags, PageTable, PlacementPolicy, SimAlloc, Tlb, VAddr,
+};
+use compass_isa::{NodeId, ProcessId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Live allocations never overlap, whatever the alloc/free pattern.
+    #[test]
+    fn allocator_blocks_are_disjoint(sizes in prop::collection::vec(1u32..9000, 1..120),
+                                     frees in prop::collection::vec(any::<bool>(), 1..120)) {
+        let mut a = SimAlloc::new(VAddr(HEAP_BASE), VAddr(HEAP_END));
+        let mut live: Vec<(u32, u32)> = Vec::new(); // (start, len)
+        for (i, &size) in sizes.iter().enumerate() {
+            let addr = a.alloc(size).unwrap();
+            // No overlap with anything live.
+            for &(s, l) in &live {
+                prop_assert!(addr.0 + size <= s || s + l <= addr.0,
+                    "block {:#x}+{} overlaps {:#x}+{}", addr.0, size, s, l);
+            }
+            live.push((addr.0, size));
+            // Occasionally free a block.
+            if *frees.get(i).unwrap_or(&false) && !live.is_empty() {
+                let (s, l) = live.swap_remove(live.len() / 2);
+                a.free(VAddr(s), l);
+            }
+        }
+    }
+
+    /// The page table behaves exactly like a HashMap<vpn, ppn>.
+    #[test]
+    fn page_table_matches_model(ops in prop::collection::vec(
+        (0u32..64, any::<bool>(), 1u64..1000), 1..200))
+    {
+        let mut pt = PageTable::new();
+        let mut model: HashMap<u32, u64> = HashMap::new();
+        for (vpn_small, map, ppn) in ops {
+            let va = VAddr(0x1000_0000 + vpn_small * 4096);
+            if map {
+                pt.map(va, ppn, PageFlags::RW);
+                model.insert(vpn_small, ppn);
+            } else {
+                let got = pt.unmap(va).map(|e| e.ppn);
+                let want = model.remove(&vpn_small);
+                prop_assert_eq!(got, want);
+            }
+            // Translations agree on every model entry.
+            for (&v, &p) in &model {
+                let t = pt.translate(VAddr(0x1000_0000 + v * 4096 + 7), false).unwrap();
+                prop_assert_eq!(t.ppn(), p);
+            }
+            prop_assert_eq!(pt.mapped_pages(), model.len() as u64);
+        }
+    }
+
+    /// Eager placement covers every node and never skips one for segments
+    /// larger than the node count.
+    #[test]
+    fn round_robin_covers_all_nodes(nodes in 1usize..9, pages in 1u64..200) {
+        let p = PlacementPolicy::RoundRobin;
+        let mut seen = vec![0u64; nodes];
+        for i in 0..pages {
+            seen[p.eager_home(i, nodes).index()] += 1;
+        }
+        let max = *seen.iter().max().unwrap();
+        let min = *seen.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "round robin must balance: {seen:?}");
+        if pages >= nodes as u64 {
+            prop_assert!(min >= 1);
+        }
+    }
+
+    /// First-touch homes are sticky: the first toucher wins forever.
+    #[test]
+    fn first_touch_is_sticky(touches in prop::collection::vec((0u64..50, 0u16..4), 1..200)) {
+        let mut m = HomeMap::new();
+        let mut model: HashMap<u64, u16> = HashMap::new();
+        for (ppn, node) in touches {
+            let got = m.home_or_first_touch(ppn, NodeId(node));
+            let want = *model.entry(ppn).or_insert(node);
+            prop_assert_eq!(got, NodeId(want));
+        }
+    }
+
+    /// The TLB never reports a hit for an entry that was not inserted by
+    /// the same (pid, page).
+    #[test]
+    fn tlb_hits_are_genuine(ops in prop::collection::vec((0u32..3, 0u32..40), 1..300)) {
+        let mut tlb = Tlb::new(16, 2);
+        let mut inserted: std::collections::HashSet<(u32, u32)> = Default::default();
+        for (pid, vpn) in ops {
+            let va = VAddr(0x1000_0000 + vpn * 4096);
+            let hit = tlb.access(ProcessId(pid), va);
+            if hit {
+                prop_assert!(inserted.contains(&(pid, vpn)),
+                    "hit for ({pid},{vpn}) never inserted");
+            }
+            inserted.insert((pid, vpn));
+        }
+    }
+}

@@ -1,0 +1,493 @@
+//! The OS server: shared kernel state, the OS-thread pool, the pairing
+//! protocol, and the bottom-half kernel daemon.
+//!
+//! "Upon starting, the OS server spawns a pool of *OS threads*. … Initially
+//! all OS threads are said to be in the 'single' state because they are
+//! not bound to any user process. Each thread monitors its own OS port,
+//! waiting for a *connection request* from a frontend process." (§3.1)
+
+use crate::bufcache::BufCache;
+use crate::fs::{FileData, FileSystem, FdTables};
+use crate::handlers;
+use crate::kctx::{KernelCtx, PortSink};
+use crate::kmem::KernelHeap;
+use crate::net::NetState;
+use crate::proto::{OsCall, OsMsg, OsRet, SysResult, SysVal};
+use crate::syscalls;
+use crate::waitq::{Chan, WaitQueues};
+use compass_comm::{BlockReason, CtlOp, DevShared, Event, EventBody, EventPort, ExecMode, ReplyData, ReqPort};
+use compass_isa::{Cycles, DiskId, ProcessId};
+use compass_mem::{VAddr, KERNEL_BASE};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Simulated addresses of the kernel's global locks.
+pub mod locks {
+    use compass_mem::{VAddr, KERNEL_BASE};
+
+    /// Buffer-cache lock.
+    pub const BUF: VAddr = VAddr(KERNEL_BASE + 0x100);
+    /// Network-stack lock.
+    pub const NET: VAddr = VAddr(KERNEL_BASE + 0x140);
+    /// File-table / namespace lock.
+    pub const FILETAB: VAddr = VAddr(KERNEL_BASE + 0x180);
+    /// Kernel-heap lock.
+    pub const KMEM: VAddr = VAddr(KERNEL_BASE + 0x1C0);
+    /// Interrupt-dispatch lock (serialises postbox drains so pseudo
+    /// interrupts and the kernel daemon stay deterministic).
+    pub const INTR: VAddr = VAddr(KERNEL_BASE + 0x200);
+}
+
+/// Simulated address of process `pid`'s descriptor-table area; entry
+/// touches land at `+ fd*16`.
+pub fn fd_table_addr(pid: ProcessId, fd: u32) -> VAddr {
+    VAddr(KERNEL_BASE + 0x1_0000 + (pid.0 % 256) * 0x400 + fd * 16)
+}
+
+/// Kernel cost parameters (cycles on the 133 MHz target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Bytes per simulated touch in block moves.
+    pub touch_gran: u32,
+    /// Buffer-cache size in buffers.
+    pub nbufs: usize,
+    /// TCP maximum segment size.
+    pub mss: u32,
+    /// Software-checksum cycles per byte (×100).
+    pub checksum_per_byte_x100: u64,
+    /// TCP protocol processing per segment.
+    pub tcp_per_packet: Cycles,
+    /// IP + Ethernet processing per segment.
+    pub ip_per_packet: Cycles,
+    /// Disk interrupt handler fixed cost.
+    pub disk_intr: Cycles,
+    /// Ethernet interrupt handler fixed cost (per frame).
+    pub ether_intr: Cycles,
+    /// Timer interrupt handler fixed cost.
+    pub timer_intr: Cycles,
+    /// Path-lookup cost per path byte.
+    pub path_per_byte: Cycles,
+    /// Select scan cost per descriptor.
+    pub select_per_fd: Cycles,
+    /// Number of simulated disks (files stripe across them).
+    pub ndisks: usize,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            touch_gran: 64,
+            nbufs: 256,
+            mss: 1460,
+            checksum_per_byte_x100: 50,
+            tcp_per_packet: 3_000,
+            ip_per_packet: 1_200,
+            disk_intr: 3_500,
+            ether_intr: 1_500,
+            timer_intr: 1_200,
+            path_per_byte: 18,
+            select_per_fd: 90,
+            ndisks: 2,
+        }
+    }
+}
+
+/// Per-syscall time accounting (count, cycles) — the data behind the
+/// paper's claim that "about 42% [of kernel time] is spent in a handful of
+/// OS calls".
+#[derive(Debug, Default)]
+pub struct SyscallStats {
+    inner: Mutex<HashMap<&'static str, (u64, u64)>>,
+}
+
+impl SyscallStats {
+    /// Records one call.
+    pub fn record(&self, name: &'static str, cycles: Cycles) {
+        let mut g = self.inner.lock();
+        let e = g.entry(name).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += cycles;
+    }
+
+    /// Snapshot sorted by cycles, descending.
+    pub fn snapshot(&self) -> Vec<(String, u64, u64)> {
+        let mut v: Vec<(String, u64, u64)> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(&k, &(c, cy))| (k.to_string(), c, cy))
+            .collect();
+        v.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Total cycles across all calls.
+    pub fn total_cycles(&self) -> Cycles {
+        self.inner.lock().values().map(|&(_, cy)| cy).sum()
+    }
+}
+
+/// The shared kernel: configuration, simulated heap, functional
+/// subsystems, wait queues, statistics. One instance is shared by every
+/// OS thread and the kernel daemon — the simulated kernel address space.
+pub struct KernelShared {
+    /// Cost parameters.
+    pub cfg: KernelConfig,
+    /// Simulated kernel heap.
+    pub heap: KernelHeap,
+    /// Filesystem (namespace + inodes).
+    pub fs: Mutex<FileSystem>,
+    /// Per-process descriptor tables.
+    pub fds: Mutex<FdTables>,
+    /// The buffer cache.
+    pub bufs: Mutex<BufCache>,
+    /// The network stack.
+    pub net: Mutex<NetState>,
+    /// Sleep/wakeup channels.
+    pub waitq: WaitQueues,
+    /// Per-syscall accounting.
+    pub stats: SyscallStats,
+    /// The device postbox (shared with the backend).
+    pub devshared: Arc<DevShared>,
+    next_token: AtomicU32,
+    tokens: Mutex<HashMap<u32, TokenInfo>>,
+    /// Interrupt-handler cycles by source `[disk, net, timer]`.
+    pub intr_cycles: [std::sync::atomic::AtomicU64; 3],
+}
+
+/// What a disk-completion token refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenInfo {
+    /// Wait channel to wake (buffer header), `Chan(0)` for fire-and-forget
+    /// eviction writebacks.
+    pub chan: Chan,
+    /// The buffer tag the transfer was for.
+    pub tag: (u64, u64),
+}
+
+impl KernelShared {
+    /// Creates the kernel around a device postbox.
+    pub fn new(cfg: KernelConfig, devshared: Arc<DevShared>) -> Arc<Self> {
+        let heap = KernelHeap::new();
+        let bufs = BufCache::new(cfg.nbufs, &heap);
+        Arc::new(Self {
+            cfg,
+            heap,
+            fs: Mutex::new(FileSystem::new()),
+            fds: Mutex::new(FdTables::new()),
+            bufs: Mutex::new(bufs),
+            net: Mutex::new(NetState::new()),
+            waitq: WaitQueues::new(),
+            stats: SyscallStats::default(),
+            devshared,
+            next_token: AtomicU32::new(1),
+            tokens: Mutex::new(HashMap::new()),
+            intr_cycles: Default::default(),
+        })
+    }
+
+    /// Pre-simulation file population (the SPECWeb file-set generator,
+    /// database loads): not simulated, purely functional.
+    pub fn create_file(&self, path: &str, data: FileData) -> u64 {
+        let kaddr = self.heap.alloc(256); // in-kernel inode
+        self.fs.lock().create(path, data, kaddr)
+    }
+
+    /// Which disk a file lives on (striped by inode).
+    pub fn disk_for(&self, inode: u64) -> DiskId {
+        DiskId((inode % self.cfg.ndisks as u64) as u16)
+    }
+
+    /// Registers a disk-completion token.
+    pub fn new_token(&self, info: TokenInfo) -> u32 {
+        let t = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.tokens.lock().insert(t, info);
+        t
+    }
+
+    /// Consumes a token at completion time.
+    pub fn take_token(&self, token: u32) -> Option<TokenInfo> {
+        self.tokens.lock().remove(&token)
+    }
+
+    /// Adds interrupt-handler cycles for reporting.
+    pub fn add_intr_cycles(&self, source: usize, cycles: Cycles) {
+        self.intr_cycles[source].fetch_add(cycles, Ordering::Relaxed);
+    }
+}
+
+/// A frontend's handle to its paired OS thread.
+pub struct OsConn {
+    port: Arc<ReqPort<OsMsg, OsRet>>,
+}
+
+impl OsConn {
+    /// Issues a system call; returns the advanced clock and the result.
+    pub fn call(&self, clock: Cycles, call: OsCall) -> (Cycles, SysResult) {
+        match self.port.call(OsMsg::Call { clock, call }) {
+            OsRet::Done { clock, result } => (clock, result),
+            other => panic!("unexpected OS reply {other:?}"),
+        }
+    }
+
+    /// Forwards a pseudo interrupt request (§3.2).
+    pub fn pseudo_irq(&self, clock: Cycles) -> Cycles {
+        match self.port.call(OsMsg::PseudoIrq { clock }) {
+            OsRet::Done { clock, .. } => clock,
+            other => panic!("unexpected OS reply {other:?}"),
+        }
+    }
+
+    /// Unpairs on process exit.
+    pub fn exit(&self) {
+        match self.port.call(OsMsg::Exit) {
+            OsRet::Bye => {}
+            other => panic!("unexpected OS reply {other:?}"),
+        }
+    }
+}
+
+struct ThreadSlot {
+    port: Arc<ReqPort<OsMsg, OsRet>>,
+    busy: AtomicBool,
+}
+
+/// The OS server: thread pool plus (optionally) the bottom-half daemon.
+pub struct OsServer {
+    kernel: Arc<KernelShared>,
+    slots: Vec<ThreadSlot>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl OsServer {
+    /// Starts `nthreads` OS threads around `kernel`.
+    pub fn start(kernel: Arc<KernelShared>, nthreads: usize) -> Arc<Self> {
+        assert!(nthreads > 0);
+        let slots: Vec<ThreadSlot> = (0..nthreads)
+            .map(|_| ThreadSlot {
+                port: Arc::new(ReqPort::new()),
+                busy: AtomicBool::new(false),
+            })
+            .collect();
+        let mut handles = Vec::new();
+        for (i, slot) in slots.iter().enumerate() {
+            let port = Arc::clone(&slot.port);
+            let k = Arc::clone(&kernel);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("os-thread-{i}"))
+                    .spawn(move || os_thread_main(port, k))
+                    .expect("spawn OS thread"),
+            );
+        }
+        Arc::new(Self {
+            kernel,
+            slots,
+            handles: Mutex::new(handles),
+        })
+    }
+
+    /// The shared kernel.
+    pub fn kernel(&self) -> &Arc<KernelShared> {
+        &self.kernel
+    }
+
+    /// Pairs a frontend process with a "single" OS thread (§3.1).
+    pub fn connect(&self, pid: ProcessId, event_port: Arc<EventPort>) -> OsConn {
+        for slot in &self.slots {
+            if slot
+                .busy
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                match slot.port.call(OsMsg::Connect {
+                    pid,
+                    port: event_port,
+                }) {
+                    OsRet::Connected => {
+                        return OsConn {
+                            port: Arc::clone(&slot.port),
+                        }
+                    }
+                    other => panic!("pairing failed: {other:?}"),
+                }
+            }
+        }
+        panic!("no single OS thread available: pool too small");
+    }
+
+    /// Spawns the bottom-half kernel daemon on its own event port.
+    /// "Dedicated threads can be scheduled to simulate bottom half kernel
+    /// activities." (§3.1)
+    pub fn start_daemon(
+        &self,
+        daemon_pid: ProcessId,
+        port: Arc<EventPort>,
+    ) -> JoinHandle<()> {
+        let k = Arc::clone(&self.kernel);
+        std::thread::Builder::new()
+            .name("kernel-bottom-half".into())
+            .spawn(move || daemon_main(daemon_pid, port, k))
+            .expect("spawn kernel daemon")
+    }
+
+    /// Shuts the pool down (all paired processes must have sent Exit).
+    pub fn shutdown(&self) {
+        for slot in &self.slots {
+            match slot.port.call(OsMsg::Shutdown) {
+                OsRet::Bye => {}
+                other => panic!("unexpected shutdown reply {other:?}"),
+            }
+        }
+        for h in self.handles.lock().drain(..) {
+            h.join().expect("OS thread panicked");
+        }
+    }
+}
+
+/// One OS thread: waits for pairing, then serves calls until Exit, then
+/// returns to "single".
+fn os_thread_main(port: Arc<ReqPort<OsMsg, OsRet>>, kernel: Arc<KernelShared>) {
+    let mut paired: Option<(ProcessId, Arc<EventPort>)> = None;
+    loop {
+        match port.recv() {
+            OsMsg::Connect { pid, port: eport } => {
+                debug_assert!(paired.is_none(), "connect to a paired OS thread");
+                paired = Some((pid, eport));
+                port.respond(OsRet::Connected);
+            }
+            OsMsg::Call { clock, call } => {
+                let (pid, eport) = paired.as_ref().expect("call before pairing");
+                let sink = PortSink(Arc::clone(eport));
+                let mut kc = KernelCtx::new(
+                    *pid,
+                    &sink,
+                    clock,
+                    ExecMode::Kernel,
+                    kernel.cfg.touch_gran,
+                );
+                let result = syscalls::dispatch(&mut kc, &kernel, call);
+                port.respond(OsRet::Done {
+                    clock: kc.clock,
+                    result,
+                });
+            }
+            OsMsg::PseudoIrq { clock } => {
+                let (pid, eport) = paired.as_ref().expect("irq before pairing");
+                let sink = PortSink(Arc::clone(eport));
+                let mut kc = KernelCtx::new(
+                    *pid,
+                    &sink,
+                    clock,
+                    ExecMode::Interrupt,
+                    kernel.cfg.touch_gran,
+                );
+                handlers::run_pending(&mut kc, &kernel);
+                port.respond(OsRet::Done {
+                    clock: kc.clock,
+                    result: Ok(SysVal::Unit),
+                });
+            }
+            OsMsg::Exit => {
+                paired = None;
+                port.respond(OsRet::Bye);
+            }
+            OsMsg::Shutdown => {
+                port.respond(OsRet::Bye);
+                return;
+            }
+        }
+    }
+}
+
+/// The bottom-half daemon: blocks until the backend signals device work,
+/// drains the postbox through the interrupt handlers, blocks again.
+fn daemon_main(pid: ProcessId, port: Arc<EventPort>, kernel: Arc<KernelShared>) {
+    let sink = PortSink(port);
+    let mut kc = KernelCtx::new(pid, &sink, 0, ExecMode::Interrupt, kernel.cfg.touch_gran);
+    // Announce ourselves to the backend.
+    let r = sink.0.post(Event {
+        pid,
+        time: 0,
+        body: EventBody::Ctl(CtlOp::Start),
+    });
+    kc.clock += r.latency;
+    loop {
+        let r = sink.0.post(Event {
+            pid,
+            time: kc.clock,
+            body: EventBody::Ctl(CtlOp::Block {
+                reason: BlockReason::BottomHalf,
+            }),
+        });
+        if matches!(r.data, ReplyData::Shutdown) {
+            return;
+        }
+        kc.clock += r.latency;
+        handlers::run_pending(&mut kc, &kernel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_addresses_are_distinct_kernel_words() {
+        let all = [locks::BUF, locks::NET, locks::FILETAB, locks::KMEM, locks::INTR];
+        let mut seen = std::collections::HashSet::new();
+        for a in all {
+            assert!(a.is_kernel());
+            assert!(a.0 < crate::kmem::KERNEL_HEAP_BASE);
+            assert!(seen.insert(a));
+        }
+    }
+
+    #[test]
+    fn fd_table_addresses_stay_in_static_area() {
+        let a = fd_table_addr(ProcessId(255), 63);
+        assert!(a.is_kernel());
+        assert!(a.0 < crate::kmem::KERNEL_HEAP_BASE);
+        assert_ne!(fd_table_addr(ProcessId(0), 0), fd_table_addr(ProcessId(1), 0));
+    }
+
+    #[test]
+    fn syscall_stats_sort_by_cycles() {
+        let s = SyscallStats::default();
+        s.record("kreadv", 100);
+        s.record("kreadv", 50);
+        s.record("send", 500);
+        let snap = s.snapshot();
+        assert_eq!(snap[0].0, "send");
+        assert_eq!(snap[1], ("kreadv".to_string(), 2, 150));
+        assert_eq!(s.total_cycles(), 650);
+    }
+
+    #[test]
+    fn tokens_roundtrip() {
+        let k = KernelShared::new(KernelConfig::default(), Arc::new(DevShared::new()));
+        let t = k.new_token(TokenInfo {
+            chan: Chan(5),
+            tag: (1, 2),
+        });
+        assert_eq!(
+            k.take_token(t),
+            Some(TokenInfo {
+                chan: Chan(5),
+                tag: (1, 2)
+            })
+        );
+        assert_eq!(k.take_token(t), None);
+    }
+
+    #[test]
+    fn files_stripe_across_disks() {
+        let k = KernelShared::new(KernelConfig::default(), Arc::new(DevShared::new()));
+        assert_ne!(k.disk_for(0), k.disk_for(1));
+        assert_eq!(k.disk_for(0), k.disk_for(2));
+    }
+}

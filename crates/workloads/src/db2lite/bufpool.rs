@@ -1,0 +1,365 @@
+//! The shared-memory buffer pool.
+//!
+//! The pool's frames live in a System-V shared segment so that every
+//! database process sees the same simulated addresses (§3.3.1 exists
+//! precisely to support this DB2 structure). Functional page bytes are
+//! host-shared; all pool-state transitions happen under the *simulated*
+//! pool latch, so replacement and sharing behave identically on every run.
+//!
+//! Locking discipline (the no-deadlock invariant of the whole codebase):
+//! host mutexes are only held across straight-line code — never across an
+//! event post — and the simulated latch is never held across file I/O;
+//! pins keep frames stable during I/O instead, with a `Busy` map state
+//! making concurrent readers of an in-transit page spin at simulated time.
+
+use super::storage::{TableId, PAGE_SIZE};
+use compass_frontend::CpuCtx;
+use compass_mem::VAddr;
+use compass_os::{Errno, Fd, OsCall, SysVal};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Pool configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Db2Config {
+    /// Frames in the pool.
+    pub pool_pages: usize,
+    /// Shared-memory key of the pool segment.
+    pub shm_key: u32,
+}
+
+impl Default for Db2Config {
+    fn default() -> Self {
+        Db2Config {
+            pool_pages: 64,
+            shm_key: 0xDB2,
+        }
+    }
+}
+
+impl Db2Config {
+    /// Bytes of shared memory the pool needs: two control pages (latches,
+    /// per-table lock-manager line ranges) plus the frames.
+    pub fn segment_len(&self) -> u32 {
+        2 * PAGE_SIZE + self.pool_pages as u32 * PAGE_SIZE
+    }
+}
+
+/// Pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed (file read).
+    pub misses: u64,
+    /// Dirty evictions written back.
+    pub writebacks: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MapState {
+    /// Frame holds the page.
+    Ready(usize),
+    /// Frame is loading or flushing the page; spin at simulated time.
+    Busy(usize),
+}
+
+struct PoolInner {
+    map: HashMap<(TableId, u64), MapState>,
+    tags: Vec<Option<(TableId, u64)>>,
+    dirty: Vec<bool>,
+    pins: Vec<u32>,
+    lru: Vec<u64>,
+    tick: u64,
+    stats: PoolStats,
+}
+
+/// A frame's functional content.
+pub struct FrameCell {
+    /// Page bytes (host-shared; mutate only under the engine's row/page
+    /// simulated locks).
+    pub bytes: Mutex<Vec<u8>>,
+}
+
+/// The shared buffer pool.
+pub struct BufPool {
+    cfg: Db2Config,
+    inner: Mutex<PoolInner>,
+    cells: Vec<Arc<FrameCell>>,
+}
+
+/// A pinned page: simulated frame address + functional bytes.
+pub struct PageRef {
+    /// Frame index (for release).
+    pub frame: usize,
+    /// Simulated address of the frame.
+    pub addr: VAddr,
+    /// Functional content.
+    pub cell: Arc<FrameCell>,
+}
+
+impl BufPool {
+    /// Creates the pool (call once; sessions share it through
+    /// `Arc<Db2Shared>`).
+    pub fn new(cfg: Db2Config) -> Self {
+        let inner = PoolInner {
+            map: HashMap::new(),
+            tags: vec![None; cfg.pool_pages],
+            dirty: vec![false; cfg.pool_pages],
+            pins: vec![0; cfg.pool_pages],
+            lru: vec![0; cfg.pool_pages],
+            tick: 0,
+            stats: PoolStats::default(),
+        };
+        let cells = (0..cfg.pool_pages)
+            .map(|_| {
+                Arc::new(FrameCell {
+                    bytes: Mutex::new(vec![0u8; PAGE_SIZE as usize]),
+                })
+            })
+            .collect();
+        Self {
+            cfg,
+            inner: Mutex::new(inner),
+            cells,
+        }
+    }
+
+    /// Simulated address of the pool latch, given the segment base.
+    pub fn latch_addr(base: VAddr) -> VAddr {
+        base
+    }
+
+    /// Simulated address of frame `i`, given the segment base.
+    pub fn frame_addr(base: VAddr, i: usize) -> VAddr {
+        base + 2 * PAGE_SIZE + (i as u32) * PAGE_SIZE
+    }
+
+    /// Pins `(table, page)` into the pool, reading it from `fd` on a miss
+    /// (and writing back a dirty victim). `base` is the attached segment
+    /// base. Returns the pinned page.
+    pub fn get_page(
+        &self,
+        cpu: &mut CpuCtx,
+        base: VAddr,
+        table: TableId,
+        page: u64,
+        fd: Fd,
+        victim_write: impl Fn(&mut CpuCtx, TableId, u64, VAddr, &[u8]),
+    ) -> PageRef {
+        let latch = Self::latch_addr(base);
+        loop {
+            cpu.lock(latch);
+            cpu.load(latch + 8, 8); // pool header
+            enum Plan {
+                Hit(usize),
+                SpinBusy,
+                Load {
+                    frame: usize,
+                    victim: Option<(TableId, u64)>,
+                },
+            }
+            let plan = {
+                let mut g = self.inner.lock();
+                g.tick += 1;
+                let tick = g.tick;
+                match g.map.get(&(table, page)).copied() {
+                    Some(MapState::Ready(i)) => {
+                        g.pins[i] += 1;
+                        g.lru[i] = tick;
+                        g.stats.hits += 1;
+                        Plan::Hit(i)
+                    }
+                    Some(MapState::Busy(_)) => Plan::SpinBusy,
+                    None => {
+                        g.stats.misses += 1;
+                        // Victim: LRU among unpinned frames.
+                        let victim = (0..self.cfg.pool_pages)
+                            .filter(|&i| g.pins[i] == 0)
+                            .min_by_key(|&i| g.lru[i])
+                            .expect("buffer pool wedged: every frame pinned");
+                        let old = g.tags[victim].take();
+                        if let Some(old_tag) = old {
+                            g.map.remove(&old_tag);
+                        }
+                        let evicted_dirty = std::mem::take(&mut g.dirty[victim]);
+                        if evicted_dirty {
+                            g.stats.writebacks += 1;
+                        }
+                        g.tags[victim] = Some((table, page));
+                        g.map.insert((table, page), MapState::Busy(victim));
+                        g.pins[victim] = 1;
+                        g.lru[victim] = tick;
+                        Plan::Load {
+                            frame: victim,
+                            victim: if evicted_dirty { old } else { None },
+                        }
+                    }
+                }
+            };
+            match plan {
+                Plan::Hit(i) => {
+                    let addr = Self::frame_addr(base, i);
+                    cpu.load(addr, 8); // frame header touch
+                    cpu.unlock(latch);
+                    return PageRef {
+                        frame: i,
+                        addr,
+                        cell: Arc::clone(&self.cells[i]),
+                    };
+                }
+                Plan::SpinBusy => {
+                    // Another process is moving this page; retry at
+                    // simulated time (the latch release lets it finish).
+                    cpu.unlock(latch);
+                    cpu.compute(200);
+                }
+                Plan::Load { frame, victim } => {
+                    cpu.unlock(latch);
+                    // Dirty victim: write-behind to its file.
+                    if let Some((vt, vp)) = victim {
+                        let snapshot = self.cells[frame].bytes.lock().clone();
+                        victim_write(cpu, vt, vp, Self::frame_addr(base, frame), &snapshot);
+                    }
+                    // Read the new page through the kernel.
+                    let addr = Self::frame_addr(base, frame);
+                    let data = match cpu.os_call(OsCall::ReadAt {
+                        fd,
+                        off: page * PAGE_SIZE as u64,
+                        len: PAGE_SIZE,
+                        buf: addr,
+                    }) {
+                        Ok(SysVal::Data(d)) => d,
+                        Err(Errno::NoEnt) | Err(Errno::BadF) => {
+                            panic!("buffer pool read through bad fd {fd:?}")
+                        }
+                        other => panic!("pool read: {other:?}"),
+                    };
+                    {
+                        let mut bytes = self.cells[frame].bytes.lock();
+                        bytes.clear();
+                        bytes.extend_from_slice(&data);
+                        bytes.resize(PAGE_SIZE as usize, 0);
+                    }
+                    // Publish: Busy -> Ready.
+                    cpu.lock(latch);
+                    {
+                        let mut g = self.inner.lock();
+                        g.map.insert((table, page), MapState::Ready(frame));
+                    }
+                    cpu.store(latch + 8, 8);
+                    cpu.unlock(latch);
+                    return PageRef {
+                        frame,
+                        addr,
+                        cell: Arc::clone(&self.cells[frame]),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Unpins a page, optionally marking it dirty.
+    pub fn release(&self, cpu: &mut CpuCtx, base: VAddr, page: &PageRef, dirty: bool) {
+        let latch = Self::latch_addr(base);
+        cpu.lock(latch);
+        {
+            let mut g = self.inner.lock();
+            debug_assert!(g.pins[page.frame] > 0, "release of unpinned frame");
+            g.pins[page.frame] -= 1;
+            if dirty {
+                g.dirty[page.frame] = true;
+            }
+        }
+        cpu.store(latch + 8, 8);
+        cpu.unlock(latch);
+    }
+
+    /// Lists all dirty resident pages (checkpoint), in `(table, page)`
+    /// order for determinism.
+    pub fn dirty_pages(&self) -> Vec<(TableId, u64, usize)> {
+        let g = self.inner.lock();
+        let mut v: Vec<(TableId, u64, usize)> = g
+            .tags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|tag| (tag.0, tag.1, i)))
+            .filter(|&(_, _, i)| g.dirty[i])
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Clears a page's dirty bit after a checkpoint write.
+    pub fn mark_clean(&self, frame: usize) {
+        self.inner.lock().dirty[frame] = false;
+    }
+
+    /// Frame content snapshot (checkpoint).
+    pub fn snapshot(&self, frame: usize) -> Vec<u8> {
+        self.cells[frame].bytes.lock().clone()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Functional-only checks: the event side is exercised by the engine
+    // integration tests. Here we validate the replacement bookkeeping via
+    // the inner structure.
+
+    #[test]
+    fn segment_layout_is_page_aligned() {
+        let cfg = Db2Config {
+            pool_pages: 8,
+            shm_key: 1,
+        };
+        assert_eq!(cfg.segment_len(), 10 * PAGE_SIZE);
+        let base = VAddr(0x7000_0000);
+        assert_eq!(BufPool::latch_addr(base), base);
+        assert_eq!(BufPool::frame_addr(base, 0), base + 2 * PAGE_SIZE);
+        assert_eq!(
+            BufPool::frame_addr(base, 3),
+            base + 2 * PAGE_SIZE + 3 * PAGE_SIZE
+        );
+    }
+
+    #[test]
+    fn dirty_pages_sorted_and_cleanable() {
+        let pool = BufPool::new(Db2Config {
+            pool_pages: 4,
+            shm_key: 1,
+        });
+        {
+            let mut g = pool.inner.lock();
+            g.tags[2] = Some((TableId(1), 5));
+            g.dirty[2] = true;
+            g.tags[0] = Some((TableId(0), 9));
+            g.dirty[0] = true;
+            g.tags[1] = Some((TableId(0), 3));
+            g.dirty[1] = false;
+        }
+        let d = pool.dirty_pages();
+        assert_eq!(
+            d,
+            vec![(TableId(0), 9, 0), (TableId(1), 5, 2)],
+            "sorted by (table, page)"
+        );
+        pool.mark_clean(0);
+        assert_eq!(pool.dirty_pages().len(), 1);
+    }
+
+    #[test]
+    fn stats_start_zeroed() {
+        let pool = BufPool::new(Db2Config::default());
+        assert_eq!(pool.stats(), PoolStats::default());
+    }
+}

@@ -1,0 +1,180 @@
+//! B+-tree-style indexes.
+//!
+//! DB2 reaches TPC-C rows through indexes, not scans; index descent is a
+//! large share of its shared-memory reference stream. The functional side
+//! here is a host `BTreeMap` (key → row index); the *memory* side models
+//! the descent: the index's interior and leaf nodes live at simulated
+//! addresses in a shared segment, and each lookup/insert touches one node
+//! line per level under the index latch, exactly the pattern a latched
+//! B+-tree produces.
+
+use super::engine::Db2Session;
+use compass_frontend::CpuCtx;
+use compass_isa::InstClass;
+use compass_mem::VAddr;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Fan-out of a 4 KiB node of 16-byte entries.
+const FANOUT: u64 = 256;
+/// Shared-memory key of the segment holding index nodes.
+pub const INDEX_SHM_KEY: u32 = 0xDB3;
+/// Size of the index-node segment.
+pub const INDEX_SEG_LEN: u32 = 64 * 4096;
+
+/// One index (unique keys).
+pub struct Index {
+    /// Diagnostic name.
+    pub name: String,
+    /// Which slot of the node segment this index's root occupies.
+    slot: u32,
+    entries: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl Index {
+    /// Creates an index preloaded with `entries`.
+    pub fn new(name: &str, slot: u32, entries: impl IntoIterator<Item = (u64, u64)>) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.to_string(),
+            slot,
+            entries: Mutex::new(entries.into_iter().collect()),
+        })
+    }
+
+    /// Tree depth for the current entry count (≥ 1).
+    fn depth(&self) -> u32 {
+        let n = self.entries.lock().len() as u64;
+        let mut depth = 1;
+        let mut cap = FANOUT;
+        while cap < n.max(1) {
+            depth += 1;
+            cap = cap.saturating_mul(FANOUT);
+        }
+        depth
+    }
+
+    /// Simulated latch address of this index, given the index segment
+    /// base each session attaches.
+    pub fn latch_addr(&self, seg_base: VAddr) -> VAddr {
+        seg_base + self.slot * 128
+    }
+
+    /// Simulated address of the node touched at `level` on the path to
+    /// `key` (root at level 0 is hot and shared; deeper nodes spread).
+    fn node_addr(&self, seg_base: VAddr, key: u64, level: u32) -> VAddr {
+        let h = key
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(level * 11);
+        let span = INDEX_SEG_LEN / 2;
+        let off = if level == 0 {
+            0
+        } else {
+            64 + (h as u32 % (span / 64 - 1)) * 64
+        };
+        seg_base + INDEX_SEG_LEN / 2 + self.slot % 2 * 64 + off
+    }
+
+    /// Descends the tree: one node line per level, comparison work, under
+    /// the index latch. Returns the row index for `key`.
+    pub fn lookup(
+        &self,
+        cpu: &mut CpuCtx,
+        session: &Db2Session,
+        seg_base: VAddr,
+        key: u64,
+    ) -> Option<u64> {
+        let latch = self.latch_addr(seg_base);
+        cpu.lock(latch);
+        let depth = self.depth();
+        for level in 0..depth {
+            cpu.load(self.node_addr(seg_base, key, level), 16);
+            // Binary search within the node.
+            cpu.inst(InstClass::IntAlu, 24);
+            cpu.inst(InstClass::Branch, 8);
+        }
+        let hit = self.entries.lock().get(&key).copied();
+        cpu.unlock(latch);
+        let _ = session;
+        hit
+    }
+
+    /// Inserts (or replaces) an entry: descent plus a leaf write.
+    pub fn insert(
+        &self,
+        cpu: &mut CpuCtx,
+        session: &Db2Session,
+        seg_base: VAddr,
+        key: u64,
+        row: u64,
+    ) {
+        let latch = self.latch_addr(seg_base);
+        cpu.lock(latch);
+        let depth = self.depth();
+        for level in 0..depth {
+            cpu.load(self.node_addr(seg_base, key, level), 16);
+            cpu.inst(InstClass::IntAlu, 24);
+        }
+        cpu.store(self.node_addr(seg_base, key, depth.saturating_sub(1)), 16);
+        cpu.inst(InstClass::IntAlu, 18);
+        self.entries.lock().insert(key, row);
+        cpu.unlock(latch);
+        let _ = session;
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+/// Attaches the shared index-node segment (every session that uses
+/// indexes calls this once).
+pub fn attach_index_segment(cpu: &mut CpuCtx) -> VAddr {
+    let seg = cpu.shmget(INDEX_SHM_KEY, INDEX_SEG_LEN);
+    cpu.shmat(seg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_grows_with_entries() {
+        let small = Index::new("s", 0, (0..10u64).map(|k| (k, k)));
+        assert_eq!(small.depth(), 1);
+        let big = Index::new("b", 1, (0..1000u64).map(|k| (k, k)));
+        assert_eq!(big.depth(), 2);
+        let bigger = Index::new("b2", 2, (0..70_000u64).map(|k| (k, k)));
+        assert_eq!(bigger.depth(), 3);
+    }
+
+    #[test]
+    fn node_addresses_stay_inside_the_segment() {
+        let idx = Index::new("t", 3, (0..500u64).map(|k| (k, k)));
+        let base = VAddr(0x7100_0000);
+        for key in [0u64, 1, 77, 499, u64::MAX] {
+            for level in 0..3 {
+                let a = idx.node_addr(base, key, level);
+                assert!(a.0 >= base.0 && a.0 < base.0 + INDEX_SEG_LEN);
+            }
+        }
+    }
+
+    #[test]
+    fn root_is_shared_across_keys() {
+        let idx = Index::new("t", 0, (0..500u64).map(|k| (k, k)));
+        let base = VAddr(0x7100_0000);
+        assert_eq!(
+            idx.node_addr(base, 1, 0),
+            idx.node_addr(base, 499, 0),
+            "level-0 (root) touches must hit the same hot line"
+        );
+        assert_ne!(idx.node_addr(base, 1, 1), idx.node_addr(base, 499, 1));
+    }
+}

@@ -1,0 +1,33 @@
+//! `db2lite`: the IBM DB2 reproduction (§4.1, §5).
+//!
+//! A from-scratch multi-process database engine with the structure that
+//! makes DB2 interesting to COMPASS: a *shared-memory buffer pool*
+//! (`shmget`/`shmat`, §3.3.1), page-granular file I/O through the kernel's
+//! buffer cache (`kreadv`/`kwritev`, the calls the paper's TPC profiles
+//! name), a write-ahead log with `fsync` group commit, a hash lock
+//! manager, and scan / aggregate / hash-join operators.
+//!
+//! * [`storage`] — schemas, row codec, page layout, table metadata;
+//! * [`bufpool`] — the shared buffer pool (pool latch, pin/unpin, LRU
+//!   replacement, write-behind);
+//! * [`engine`] — per-process sessions and the relational operators;
+//! * [`index`] — B+-tree-style indexes (latched descent over shared
+//!   simulated node pages);
+//! * [`txn`] — write-ahead logging and the lock manager;
+//! * [`tpcc`] — TPC-C-style schema, loader and transaction mix
+//!   (new-order / payment);
+//! * [`tpcd`] — TPC-D-style schema, loader and analytic queries
+//!   (Q1/Q6-shaped scans, a Q3-shaped join), with parallel query
+//!   execution across processes.
+
+pub mod bufpool;
+pub mod engine;
+pub mod index;
+pub mod storage;
+pub mod tpcc;
+pub mod tpcd;
+pub mod txn;
+
+pub use bufpool::{BufPool, Db2Config, PoolStats};
+pub use engine::{Db2Session, Db2Shared};
+pub use storage::{ColType, Row, Schema, TableId, TableMeta, Value};

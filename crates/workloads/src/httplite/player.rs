@@ -1,0 +1,230 @@
+//! The HTTP request trace player (§4.2).
+//!
+//! "When simulating Apache under COMPASS, we can not simply run the
+//! SPECWeb96 workload generator on one or several client machines …
+//! because the server under simulation is too slow. We solve this problem
+//! by generating an intermediate HTTP request trace file … We then
+//! implement a trace player that reads the trace file and feeds the
+//! requests to a web server."
+//!
+//! The player models a fixed set of HTTP/1.0 clients: each opens a
+//! connection (SYN), sends its GET after the connect handshake, waits for
+//! the full response (it knows the file size from the trace), closes
+//! (FIN), thinks, and plays the next trace entry. Pacing is entirely
+//! response-driven, which is exactly why the paper's authors built a
+//! player instead of using SPECWeb's timeout-bound generator.
+
+use super::specweb::Trace;
+use compass_backend::TrafficSource;
+use compass_comm::{Frame, FrameKind};
+use compass_isa::{ConnId, Cycles, NicId};
+use std::collections::HashMap;
+
+/// The trace player.
+pub struct TracePlayer {
+    trace: Trace,
+    next_entry: usize,
+    clients: u32,
+    /// Gap between SYN and the GET (connect handshake time).
+    connect_gap: Cycles,
+    /// Client think time between requests.
+    think: Cycles,
+    port: u16,
+    next_conn: u32,
+    live: HashMap<ConnId, Pending>,
+    /// Requests completed.
+    pub completed: u64,
+    /// Response bytes observed.
+    pub bytes_received: u64,
+}
+
+struct Pending {
+    expected: u64,
+    received: u64,
+    /// Bytes seen since the last ACK was generated.
+    unacked: u64,
+}
+
+impl TracePlayer {
+    /// Creates a player for `trace` with `clients` concurrent HTTP/1.0
+    /// clients hitting `port`.
+    pub fn new(trace: Trace, clients: u32, port: u16) -> Self {
+        assert!(clients > 0);
+        Self {
+            trace,
+            next_entry: 0,
+            clients,
+            connect_gap: 30_000,
+            think: 120_000,
+            port,
+            next_conn: 1,
+            live: HashMap::new(),
+            completed: 0,
+            bytes_received: 0,
+        }
+    }
+
+    /// Total requests in the trace.
+    pub fn total_requests(&self) -> usize {
+        self.trace.entries.len()
+    }
+
+    /// Schedules one request: SYN, then the GET line.
+    fn launch(&mut self, at: Cycles) -> Vec<(Cycles, Frame)> {
+        let Some(entry) = self.trace.entries.get(self.next_entry) else {
+            return Vec::new();
+        };
+        let conn = ConnId(self.next_conn);
+        self.next_conn += 1;
+        self.next_entry += 1;
+        self.live.insert(
+            conn,
+            Pending {
+                // The server sends a ~128-byte header before the body; any
+                // response of at least the body size counts as complete.
+                expected: entry.size as u64,
+                received: 0,
+                unacked: 0,
+            },
+        );
+        let get = format!("GET {} HTTP/1.0\r\n\r\n", entry.path).into_bytes();
+        vec![
+            (
+                at,
+                Frame {
+                    nic: NicId(0),
+                    conn,
+                    kind: FrameKind::Syn,
+                    payload: self.port.to_be_bytes().to_vec(),
+                    time: at,
+                },
+            ),
+            (
+                at + self.connect_gap,
+                Frame {
+                    nic: NicId(0),
+                    conn,
+                    kind: FrameKind::Data,
+                    payload: get,
+                    time: at + self.connect_gap,
+                },
+            ),
+        ]
+    }
+}
+
+impl TrafficSource for TracePlayer {
+    fn initial(&mut self) -> Vec<(Cycles, Frame)> {
+        let mut frames = Vec::new();
+        let n = (self.clients as usize).min(self.trace.entries.len());
+        for i in 0..n {
+            // Stagger client start-up the way independent clients arrive.
+            frames.extend(self.launch(10_000 + i as Cycles * 25_000));
+        }
+        frames
+    }
+
+    fn on_tx(&mut self, conn: ConnId, bytes: u32, now: Cycles) -> Vec<(Cycles, Frame)> {
+        let Some(p) = self.live.get_mut(&conn) else {
+            return Vec::new(); // header/FIN on an already-finished conn
+        };
+        p.received += bytes as u64;
+        p.unacked += bytes as u64;
+        self.bytes_received += bytes as u64;
+        if p.received < p.expected {
+            // Delayed ACK: one ACK per two full segments, as 4.4BSD-era
+            // stacks generate — each one costs the server an Ethernet
+            // interrupt plus TCP input processing.
+            if p.unacked >= 2 * 1460 {
+                p.unacked = 0;
+                return vec![(
+                    now + 8_000,
+                    Frame {
+                        nic: NicId(0),
+                        conn,
+                        kind: FrameKind::Ack,
+                        payload: Vec::new(),
+                        time: now + 8_000,
+                    },
+                )];
+            }
+            return Vec::new();
+        }
+        // Response complete: close this connection and play the next
+        // entry after the think time.
+        self.live.remove(&conn);
+        self.completed += 1;
+        let mut frames = vec![(
+            now + 5_000,
+            Frame {
+                nic: NicId(0),
+                conn,
+                kind: FrameKind::Fin,
+                payload: Vec::new(),
+                time: now + 5_000,
+            },
+        )];
+        frames.extend(self.launch(now + self.think));
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::httplite::specweb::TraceEntry;
+
+    fn trace(n: usize) -> Trace {
+        Trace {
+            entries: (0..n)
+                .map(|i| TraceEntry {
+                    path: format!("/f{i}"),
+                    size: 1_000,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn initial_launches_up_to_clients() {
+        let mut p = TracePlayer::new(trace(10), 3, 80);
+        let frames = p.initial();
+        // 3 clients x (SYN + GET).
+        assert_eq!(frames.len(), 6);
+        assert!(matches!(frames[0].1.kind, FrameKind::Syn));
+        assert!(matches!(frames[1].1.kind, FrameKind::Data));
+        assert!(frames[1].0 > frames[0].0, "GET follows the SYN");
+    }
+
+    #[test]
+    fn response_completion_triggers_fin_and_next_request() {
+        let mut p = TracePlayer::new(trace(2), 1, 80);
+        let first = p.initial();
+        let conn = first[0].1.conn;
+        // Partial response: nothing happens.
+        assert!(p.on_tx(conn, 400, 1_000_000).is_empty());
+        // Completion: FIN + next request's SYN/GET.
+        let frames = p.on_tx(conn, 700, 2_000_000);
+        assert_eq!(frames.len(), 3);
+        assert!(matches!(frames[0].1.kind, FrameKind::Fin));
+        assert!(matches!(frames[1].1.kind, FrameKind::Syn));
+        assert_ne!(frames[1].1.conn, conn, "fresh connection per request");
+        assert_eq!(p.completed, 1);
+    }
+
+    #[test]
+    fn trace_exhaustion_stops_the_player() {
+        let mut p = TracePlayer::new(trace(1), 1, 80);
+        let first = p.initial();
+        let conn = first[0].1.conn;
+        let frames = p.on_tx(conn, 1_000, 500_000);
+        assert_eq!(frames.len(), 1, "only the FIN, no further request");
+        assert_eq!(p.completed, 1);
+    }
+
+    #[test]
+    fn unknown_conn_tx_is_ignored() {
+        let mut p = TracePlayer::new(trace(1), 1, 80);
+        assert!(p.on_tx(ConnId(99), 100, 0).is_empty());
+    }
+}

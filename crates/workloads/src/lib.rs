@@ -1,0 +1,20 @@
+//! Commercial (and contrast) workloads for the COMPASS reproduction.
+//!
+//! The paper ports three applications (§4–5):
+//!
+//! * **IBM DB2** running the TPC-C and TPC-D benchmarks — reproduced by
+//!   [`db2lite`], a from-scratch multi-process database engine with a
+//!   shared-memory buffer pool, write-ahead log, lock manager, B+-tree
+//!   indexes and scan/join/aggregate operators, plus TPC-C-like
+//!   transaction and TPC-D-like query drivers;
+//! * **Apache** driven by SPECWeb96 — reproduced by [`httplite`], a
+//!   pre-fork web server, a SPECWeb96-style file-set generator, and the
+//!   paper's *trace player* (§4.2) feeding HTTP requests through the
+//!   simulated Ethernet;
+//! * scientific codes as the contrast case ("Scientific applications on
+//!   shared memory machines usually spend very little time in the
+//!   operating systems", §1) — [`sci`].
+
+pub mod db2lite;
+pub mod httplite;
+pub mod sci;

@@ -1,0 +1,64 @@
+//! The §3.3.1 page-placement study in miniature: round-robin vs block vs
+//! first-touch home assignment for a parallel scan on CC-NUMA.
+//!
+//! Run: `cargo run --release --example page_placement`
+
+use compass::{ArchConfig, PlacementPolicy, SchedPolicy, SimBuilder};
+use compass_workloads::db2lite::tpcd::{self, Query, QueryResults, TpcdConfig};
+use compass_workloads::db2lite::{Db2Config, Db2Shared};
+use std::sync::Arc;
+
+fn run(placement: PlacementPolicy) -> compass::runner::RunReport {
+    const WORKERS: u64 = 4;
+    let data = TpcdConfig {
+        lineitems: 12_000,
+        orders: 3_000,
+        seed: 1,
+    };
+    let shared = Db2Shared::new(Db2Config {
+        pool_pages: 64,
+        shm_key: 0xDB2,
+    });
+    let results = Arc::new(QueryResults::default());
+    let shared_for_load = Arc::clone(&shared);
+    let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2)).prepare_kernel(move |k| {
+        tpcd::load(k, &shared_for_load, data);
+    });
+    for rank in 0..WORKERS {
+        b = b.add_process(tpcd::query_worker(
+            Arc::clone(&shared),
+            Query::Q6(200, 1_800),
+            rank,
+            WORKERS,
+            Arc::clone(&results),
+        ));
+    }
+    b.config_mut().backend.placement = placement;
+    b.config_mut().backend.sched = SchedPolicy::Affinity;
+    b.run()
+}
+
+fn main() {
+    println!("parallel TPC-D Q6 on a 2-node CC-NUMA, by placement policy:\n");
+    println!(
+        "{:<14} {:>9} {:>10} {:>16}",
+        "policy", "remote%", "mean lat", "pages per node"
+    );
+    for (name, p) in [
+        ("first-touch", PlacementPolicy::FirstTouch),
+        ("round-robin", PlacementPolicy::RoundRobin),
+        ("block(16)", PlacementPolicy::Block(16)),
+    ] {
+        let r = run(p);
+        println!(
+            "{name:<14} {:>8.2}% {:>10.1} {:>16}",
+            100.0 * r.backend.mem.remote_fraction(),
+            r.backend.mem.mean_latency(),
+            format!("{:?}", r.backend.pages_per_node),
+        );
+    }
+    println!("\n\"The home nodes can be assigned at the time of page creation (if a");
+    println!("round-robin or block page placement policy is being used) or when the");
+    println!("page is first referenced (if a first-touch page placement algorithm");
+    println!("is used).\" — paper §3.3.1");
+}

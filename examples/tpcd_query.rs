@@ -1,0 +1,67 @@
+//! Decision support: a parallel TPC-D-style query on `db2lite`.
+//!
+//! Four worker processes attach the shared buffer pool (System-V shared
+//! memory through the simulator's §3.3.1 machinery), partition the
+//! lineitem pages, scan/aggregate, merge under a simulated lock, and meet
+//! at a barrier — DB2's parallel query shape, on a simulated CC-NUMA.
+//!
+//! Run: `cargo run --release --example tpcd_query`
+
+use compass::report::format_table1;
+use compass::{ArchConfig, SchedPolicy, SimBuilder};
+use compass_workloads::db2lite::tpcd::{self, Query, QueryResults, TpcdConfig};
+use compass_workloads::db2lite::{Db2Config, Db2Shared};
+use std::sync::Arc;
+
+fn main() {
+    const WORKERS: u64 = 4;
+    let data = TpcdConfig {
+        lineitems: 30_000,
+        orders: 7_500,
+        seed: 19980401,
+    };
+    let shared = Db2Shared::new(Db2Config {
+        pool_pages: 96,
+        shm_key: 0xDB2,
+    });
+    let results = Arc::new(QueryResults::default());
+
+    let shared_for_load = Arc::clone(&shared);
+    let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2)).prepare_kernel(move |k| {
+        tpcd::load(k, &shared_for_load, data);
+    });
+    for rank in 0..WORKERS {
+        b = b.add_process(tpcd::query_worker(
+            Arc::clone(&shared),
+            Query::Q1(1_600),
+            rank,
+            WORKERS,
+            Arc::clone(&results),
+        ));
+    }
+    b.config_mut().backend.sched = SchedPolicy::Affinity;
+    let report = b.run();
+
+    println!("Q1-style aggregate over {} lineitem rows:\n", data.lineitems);
+    let mut groups: Vec<_> = results.q1.lock().clone().into_iter().collect();
+    groups.sort();
+    println!("flag status      sum(qty)     sum(price)      count");
+    for ((rf, ls), (qty, price, n)) in groups {
+        println!("{rf:<5}{ls:<8} {qty:>12} {price:>14} {n:>10}");
+    }
+    println!(
+        "\nsimulated time : {:.1} Mcycles ({:.3} simulated seconds at 133 MHz)",
+        report.backend.global_cycles as f64 / 1e6,
+        report.backend.global_cycles as f64 / 133e6
+    );
+    println!(
+        "pool           : hits/misses = {}/{}",
+        report.bufcache.hits, report.bufcache.misses
+    );
+    println!(
+        "memory         : L1 miss {:.2}%, remote fraction {:.2}%",
+        100.0 * report.backend.mem.l1_miss_ratio(),
+        100.0 * report.backend.mem.remote_fraction()
+    );
+    println!("{}", format_table1("tpcd_query", &report));
+}

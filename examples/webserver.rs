@@ -1,0 +1,58 @@
+//! Web serving: the Apache + SPECWeb96 setup of paper §4.2.
+//!
+//! A SPECWeb-style file set is generated into the simulated filesystem,
+//! an HTTP request trace is generated from its class mix, and the trace
+//! player feeds the requests through the simulated Ethernet to four
+//! pre-fork worker processes. The profile that comes out — heavily
+//! OS-dominated with a large interrupt-handler share — is the paper's
+//! Table 1 first row.
+//!
+//! Run: `cargo run --release --example webserver`
+
+use compass::report::{format_syscall_table, format_table1};
+use compass::{ArchConfig, SimBuilder};
+use compass_workloads::httplite::{
+    generate_fileset, generate_trace, FileSetConfig, ServerConfig, SharedTickets, TracePlayer,
+};
+use std::sync::Arc;
+
+fn main() {
+    const WORKERS: u32 = 4;
+    const REQUESTS: u32 = 80;
+    let fileset = FileSetConfig { dirs: 2 };
+    let trace = generate_trace(fileset, REQUESTS, 0x5EC);
+    println!(
+        "trace: {} requests, {} response bytes expected\n",
+        trace.entries.len(),
+        trace.total_bytes()
+    );
+    let tickets = SharedTickets::new(REQUESTS as u64);
+    let cfg = ServerConfig::default();
+
+    let mut b = SimBuilder::new(ArchConfig::simple_smp(4))
+        .prepare_kernel(move |k| {
+            let files = generate_fileset(k, fileset);
+            eprintln!("file set: {files} files populated");
+        })
+        .traffic(TracePlayer::new(trace, 6, cfg.port));
+    for _ in 0..WORKERS {
+        b = b.add_process(compass_workloads::httplite::worker(
+            cfg,
+            Arc::clone(&tickets),
+        ));
+    }
+    let report = b.run();
+
+    println!("connections    : {}", report.net.conns);
+    println!("bytes served   : {}", report.net.tx_bytes);
+    println!(
+        "net interrupts : {} (frames in: {})",
+        report.backend.irq_dispatches[1], report.net.rx_frames
+    );
+    println!(
+        "simulated time : {:.1} Mcycles",
+        report.backend.global_cycles as f64 / 1e6
+    );
+    println!("\n{}", format_table1("webserver", &report));
+    println!("\n{}", format_syscall_table(&report));
+}

@@ -1,0 +1,2 @@
+//! Root crate: hosts the workspace-level integration tests and examples.
+pub use compass;

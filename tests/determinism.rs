@@ -1,0 +1,132 @@
+//! Whole-system determinism: arbitrary mixed workloads — shared memory,
+//! simulated locks, barriers, file I/O, compute — must produce
+//! bit-identical simulations across runs and across engine modes. This is
+//! the load-bearing property of the least-execution-time pickup rule (§2).
+
+use compass::{ArchConfig, CpuCtx, EngineMode, SimBuilder};
+use compass_backend::BackendStats;
+use compass_os::fs::FileData;
+use compass_os::{OsCall, SysVal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A process body generated from a seed: a random mix of the primitives.
+fn chaos_process(seed: u64, nprocs: u16) -> impl FnMut(&mut CpuCtx) + Send {
+    move |cpu: &mut CpuCtx| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seg = cpu.shmget(0xC0DE, 16 * 4096);
+        let base = cpu.shmat(seg);
+        let heap = cpu.malloc_pages(16 * 4096);
+        let buf = cpu.malloc_pages(4096);
+        let fd = match cpu.os_call(OsCall::Open {
+            path: "/chaos".into(),
+            create: false,
+        }) {
+            Ok(SysVal::NewFd(fd)) => fd,
+            other => panic!("{other:?}"),
+        };
+        for step in 0..120u32 {
+            match rng.gen_range(0..10) {
+                0..=2 => {
+                    // Private memory work.
+                    let a = heap + rng.gen_range(0..16 * 4096 - 8);
+                    if rng.gen_bool(0.5) {
+                        cpu.load(a, 8);
+                    } else {
+                        cpu.store(a, 8);
+                    }
+                }
+                3..=4 => {
+                    // Shared memory work under a lock.
+                    let line = rng.gen_range(4..16u32);
+                    cpu.lock(base);
+                    cpu.store(base + line * 256, 8);
+                    cpu.load(base + line * 256 + 64, 8);
+                    cpu.unlock(base);
+                }
+                5 => cpu.compute(rng.gen_range(100..5_000)),
+                6..=7 => {
+                    // File read at a random offset.
+                    let off = rng.gen_range(0..96u64) * 1024;
+                    match cpu.os_call(OsCall::ReadAt {
+                        fd,
+                        off,
+                        len: 1024,
+                        buf,
+                    }) {
+                        Ok(SysVal::Data(_)) => {}
+                        other => panic!("{other:?}"),
+                    }
+                }
+                8 => {
+                    // Unlocked (but data-race-free by disjoint addressing)
+                    // shared reads: timing still deterministic.
+                    cpu.load(base + (seed as u32 % 8) * 512, 8);
+                }
+                _ => {
+                    // NOTE: no mid-run barriers here — arrival counts
+                    // must match across processes, and this arm fires a
+                    // random number of times per process.
+                    cpu.compute(50 + step as u64 % 7);
+                }
+            }
+        }
+        // Everyone must reach the trailing barrier count; use compute to
+        // keep clocks moving.
+        cpu.barrier(base + 192, nprocs);
+        let _ = cpu.os_call(OsCall::Close { fd });
+    }
+}
+
+fn run_chaos(mode: EngineMode, nprocs: u16) -> BackendStats {
+    let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2)).prepare_kernel(|k| {
+        k.create_file("/chaos", FileData::Synthetic { len: 96 * 1024 });
+    });
+    for p in 0..nprocs {
+        b = b.add_process(chaos_process(p as u64 * 7919 + 17, nprocs));
+    }
+    b.config_mut().backend.mode = mode;
+    b.config_mut().backend.timer_interval = Some(500_000);
+    b.config_mut().backend.deadlock_ms = 10_000;
+    b.run().backend
+}
+
+fn assert_same(a: &BackendStats, b: &BackendStats) {
+    assert_eq!(a.global_cycles, b.global_cycles, "global time differs");
+    assert_eq!(a.events, b.events, "event counts differ");
+    assert_eq!(a.mem, b.mem, "memory stats differ");
+    assert_eq!(a.sync, b.sync, "sync stats differ");
+    assert_eq!(a.tlb, b.tlb, "tlb stats differ");
+    for (i, (x, y)) in a.procs.iter().zip(&b.procs).enumerate() {
+        assert_eq!(x, y, "per-process times differ for pid {i}");
+    }
+}
+
+#[test]
+fn chaos_is_deterministic_across_runs() {
+    let a = run_chaos(EngineMode::Pipelined, 3);
+    let b = run_chaos(EngineMode::Pipelined, 3);
+    assert_same(&a, &b);
+}
+
+#[test]
+fn engine_modes_produce_identical_simulations() {
+    // The paper's uniprocessor and SMP deployments differ only in
+    // wall-clock; the simulation itself must be bit-identical.
+    let serial = run_chaos(EngineMode::Serialized, 3);
+    let pipe = run_chaos(EngineMode::Pipelined, 3);
+    assert_same(&serial, &pipe);
+}
+
+#[test]
+fn oversubscription_is_deterministic() {
+    // More processes than CPUs: the ready queue and context switches are
+    // in play, and everything must still replay exactly.
+    let a = run_chaos(EngineMode::Pipelined, 5);
+    let b = run_chaos(EngineMode::Pipelined, 5);
+    assert_same(&a, &b);
+    assert!(
+        a.procs.iter().any(|p| p.ready_wait > 0),
+        "5 processes on 4 CPUs should queue"
+    );
+}
