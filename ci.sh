@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, test, lint, format — what .github/workflows/ci.yml
+# runs. Keep this green before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --all-targets --workspace -- -D warnings
+cargo fmt --all --check

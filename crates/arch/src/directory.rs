@@ -89,7 +89,10 @@ impl Directory {
 
     /// State of a line (Uncached when never referenced).
     pub fn entry(&self, line: u64) -> DirEntry {
-        self.entries.get(&line).copied().unwrap_or(DirEntry::Uncached)
+        self.entries
+            .get(&line)
+            .copied()
+            .unwrap_or(DirEntry::Uncached)
     }
 
     /// Serves a read miss by `cpu`.
@@ -142,8 +145,7 @@ impl Directory {
             DirEntry::Shared(mask) => {
                 let already_sharer = mask & (1 << cpu) != 0;
                 let others = mask & !(1 << cpu);
-                let invalidate: Vec<u16> =
-                    (0..64).filter(|b| others & (1 << b) != 0).collect();
+                let invalidate: Vec<u16> = (0..64).filter(|b| others & (1 << b) != 0).collect();
                 self.stats.invalidations += invalidate.len() as u64;
                 if already_sharer {
                     self.stats.upgrades += 1;
@@ -310,8 +312,7 @@ mod tests {
         // on a genuine miss, writes only by non-owners), mirroring what the
         // hierarchy guarantees, and check invariants throughout.
         let mut d = Directory::new();
-        let mut held: Vec<std::collections::HashSet<u64>> =
-            vec![Default::default(); 4];
+        let mut held: Vec<std::collections::HashSet<u64>> = vec![Default::default(); 4];
         for i in 0..200u64 {
             let line = i % 10;
             let cpu = (i % 4) as usize;

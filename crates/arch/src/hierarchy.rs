@@ -257,7 +257,11 @@ impl Hierarchy {
             }
         }
 
-        let upgrade = if self.l2.is_empty() { l1_upgrade } else { l2_upgrade };
+        let upgrade = if self.l2.is_empty() {
+            l1_upgrade
+        } else {
+            l2_upgrade
+        };
 
         // ---- Node level ----
         let mynode = self.node_of(cpu);
@@ -276,12 +280,15 @@ impl Hierarchy {
         // ---- COMA attraction memory (data fetches only) ----
         let line_bytes = self.coh_line_size();
         let mut am_hit = false;
-        if self.cfg.kind == MemSysKind::Coma && !upgrade && !acc.write
-            && self.am[mynode].probe(coh).is_some() {
-                am_hit = true;
-                total += lat.am_hit;
-                self.stats.am_hits[ci] += 1;
-            }
+        if self.cfg.kind == MemSysKind::Coma
+            && !upgrade
+            && !acc.write
+            && self.am[mynode].probe(coh).is_some()
+        {
+            am_hit = true;
+            total += lat.am_hit;
+            self.stats.am_hits[ci] += 1;
+        }
 
         if am_hit {
             // Served by the local attraction memory: still a directory
@@ -479,10 +486,7 @@ impl Hierarchy {
 
     /// Per-CPU L2 statistics (zeros when no L2 is configured).
     pub fn l2_stats(&self, cpu: usize) -> crate::cache::CacheStats {
-        self.l2
-            .get(cpu)
-            .map(|c| c.stats())
-            .unwrap_or_default()
+        self.l2.get(cpu).map(|c| c.stats()).unwrap_or_default()
     }
 
     /// Network statistics.
@@ -687,7 +691,9 @@ mod tests {
         let mut h = ccnuma();
         let mut sum = 0;
         for i in 0..20u64 {
-            sum += h.access(0, PAddr(0x1000 + i * 8), read(), 0, i * 100).latency;
+            sum += h
+                .access(0, PAddr(0x1000 + i * 8), read(), 0, i * 100)
+                .latency;
         }
         assert_eq!(h.stats().latency[0], sum);
     }

@@ -90,9 +90,8 @@ impl Interconnect {
             return 0;
         }
         let hops = self.topology.hops(from, to, self.nodes);
-        let wire = lat.net_fixed
-            + hops * lat.net_per_hop
-            + (bytes as u64 * lat.net_per_byte_x100) / 100;
+        let wire =
+            lat.net_fixed + hops * lat.net_per_hop + (bytes as u64 * lat.net_per_byte_x100) / 100;
         let iface = self.interfaces[from].acquire(now, lat.net_fixed.max(1));
         self.stats.messages += 1;
         self.stats.bytes += bytes as u64;

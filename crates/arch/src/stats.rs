@@ -17,8 +17,11 @@ pub enum AccessClass {
 
 impl AccessClass {
     /// All classes.
-    pub const ALL: [AccessClass; 3] =
-        [AccessClass::User, AccessClass::Kernel, AccessClass::Interrupt];
+    pub const ALL: [AccessClass; 3] = [
+        AccessClass::User,
+        AccessClass::Kernel,
+        AccessClass::Interrupt,
+    ];
 
     /// Dense index.
     #[inline]

@@ -15,11 +15,7 @@ struct Op {
 
 fn ops(ncpus: usize, lines: u64) -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
-        (0..ncpus, 0..lines, any::<bool>()).prop_map(|(cpu, line, write)| Op {
-            cpu,
-            line,
-            write,
-        }),
+        (0..ncpus, 0..lines, any::<bool>()).prop_map(|(cpu, line, write)| Op { cpu, line, write }),
         1..400,
     )
 }

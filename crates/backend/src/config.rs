@@ -68,6 +68,12 @@ pub struct BackendConfig {
     pub deadlock_ms: u64,
     /// Which simulated CPU device interrupts are routed to.
     pub irq_cpu: usize,
+    /// Frontend event-batch depth: how many events a frontend publishes
+    /// into its port ring before rendezvousing (1 = classic per-event
+    /// rendezvous; the runner sizes port rings from this). Credit
+    /// accounting makes results identical at any depth (see the engine
+    /// module docs), so this is purely a host-performance knob.
+    pub batch_depth: usize,
 }
 
 impl BackendConfig {
@@ -88,6 +94,7 @@ impl BackendConfig {
             timer_interval: None,
             deadlock_ms: 10_000,
             irq_cpu: 0,
+            batch_depth: 8,
         }
     }
 
@@ -114,6 +121,9 @@ impl BackendConfig {
                 return Err("zero pre-emption interval".into());
             }
         }
+        if self.batch_depth == 0 {
+            return Err("batch_depth must be at least 1".into());
+        }
         Ok(())
     }
 }
@@ -124,8 +134,12 @@ mod tests {
 
     #[test]
     fn default_config_validates() {
-        BackendConfig::new(ArchConfig::ccnuma(2, 2)).validate().unwrap();
-        BackendConfig::new(ArchConfig::simple_smp(4)).validate().unwrap();
+        BackendConfig::new(ArchConfig::ccnuma(2, 2))
+            .validate()
+            .unwrap();
+        BackendConfig::new(ArchConfig::simple_smp(4))
+            .validate()
+            .unwrap();
     }
 
     #[test]
@@ -147,6 +161,13 @@ mod tests {
     fn zero_preempt_interval_rejected() {
         let mut c = BackendConfig::new(ArchConfig::simple_smp(2));
         c.preempt_interval = Some(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_batch_depth_rejected() {
+        let mut c = BackendConfig::new(ArchConfig::simple_smp(2));
+        c.batch_depth = 0;
         assert!(c.validate().is_err());
     }
 }

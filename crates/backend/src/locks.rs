@@ -119,13 +119,7 @@ impl SyncTable {
     }
 
     /// Barrier arrival: `count` participants expected.
-    pub fn barrier(
-        &mut self,
-        addr: VAddr,
-        pid: ProcessId,
-        count: u16,
-        now: Cycles,
-    ) -> SyncOutcome {
+    pub fn barrier(&mut self, addr: VAddr, pid: ProcessId, count: u16, now: Cycles) -> SyncOutcome {
         let b = self.barriers.entry(addr).or_default();
         debug_assert!(
             !b.arrived.iter().any(|&(p, _)| p == pid),
@@ -207,9 +201,15 @@ mod tests {
         assert_eq!(t.acquire(L, p(1), 5), SyncOutcome::Wait);
         assert_eq!(t.acquire(L, p(2), 7), SyncOutcome::Wait);
         // Release grants p1 (first waiter), ownership transfers directly.
-        assert_eq!(t.release(L, p(0), 100), SyncOutcome::Release(vec![(p(1), 5)]));
+        assert_eq!(
+            t.release(L, p(0), 100),
+            SyncOutcome::Release(vec![(p(1), 5)])
+        );
         assert_eq!(t.holder(L), Some(p(1)));
-        assert_eq!(t.release(L, p(1), 200), SyncOutcome::Release(vec![(p(2), 7)]));
+        assert_eq!(
+            t.release(L, p(1), 200),
+            SyncOutcome::Release(vec![(p(2), 7)])
+        );
         assert_eq!(t.release(L, p(2), 300), SyncOutcome::Granted);
         assert_eq!(t.stats().lock_wait_cycles, 95 + 193);
     }

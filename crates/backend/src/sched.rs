@@ -124,7 +124,10 @@ impl Scheduler {
                 // 3. A CPU on a node it used before.
                 let used_nodes: Vec<usize> =
                     ps.used_cpus.iter().map(|&c| self.node_of(c)).collect();
-                if let Some(&c) = free.iter().find(|&&c| used_nodes.contains(&self.node_of(c))) {
+                if let Some(&c) = free
+                    .iter()
+                    .find(|&&c| used_nodes.contains(&self.node_of(c)))
+                {
                     return Some(c);
                 }
                 // 4. Anywhere.
@@ -139,7 +142,11 @@ impl Scheduler {
         let ps = &mut self.procs[pid.index()];
         if ps.last_cpu == Some(cpu) {
             self.stats.same_cpu += 1;
-        } else if ps.used_cpus.iter().any(|&c| c.index() / self.cpus_per_node == node) {
+        } else if ps
+            .used_cpus
+            .iter()
+            .any(|&c| c.index() / self.cpus_per_node == node)
+        {
             self.stats.same_node += 1;
         } else if ps.last_cpu.is_some() {
             self.stats.migrations += 1;
@@ -174,7 +181,9 @@ impl Scheduler {
     ///
     /// Returns the process dispatched onto the newly freed CPU.
     pub fn release_cpu(&mut self, pid: ProcessId) -> Option<(ProcessId, CpuId)> {
-        let cpu = self.cpu_of(pid).expect("release_cpu of a non-running process");
+        let cpu = self
+            .cpu_of(pid)
+            .expect("release_cpu of a non-running process");
         self.running[cpu.index()] = None;
         self.dispatch_onto_free()
     }

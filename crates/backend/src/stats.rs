@@ -83,6 +83,9 @@ pub struct BackendStats {
     pub nic_tx: (u64, u64),
     /// Interrupt-handler dispatches by source `[disk, net, timer]`.
     pub irq_dispatches: [u64; 3],
+    /// Events consumed without simulation (the kernel daemon's final
+    /// Block, answered with Shutdown at teardown).
+    pub dropped_events: u64,
 }
 
 impl BackendStats {
@@ -109,7 +112,9 @@ impl BackendStats {
             user_pct: pct(by_mode[AccessClass::User.index()]),
             kernel_pct: pct(by_mode[AccessClass::Kernel.index()]),
             interrupt_pct: pct(by_mode[AccessClass::Interrupt.index()]),
-            os_pct: pct(by_mode[AccessClass::Kernel.index()] + by_mode[AccessClass::Interrupt.index()]),
+            os_pct: pct(
+                by_mode[AccessClass::Kernel.index()] + by_mode[AccessClass::Interrupt.index()]
+            ),
         }
     }
 }

@@ -7,8 +7,8 @@
 
 use compass_isa::{CpuId, NodeId, ProcessId, SegId};
 use compass_mem::{
-    addr, FrameAllocator, HomeMap, PageFlags, PageTable, PlacementPolicy, Region, ShmError,
-    ShmRegistry, Tlb, TlbStats, VAddr, PAddr, PAGE_SIZE,
+    addr, FrameAllocator, HomeMap, PAddr, PageFlags, PageTable, PlacementPolicy, Region, ShmError,
+    ShmRegistry, Tlb, TlbStats, VAddr, PAGE_SIZE,
 };
 use std::collections::HashMap;
 
@@ -92,7 +92,9 @@ impl Vm {
         dsm_enabled: bool,
     ) -> Self {
         let tlbs = if tlb_entries > 0 {
-            (0..ncpus).map(|_| Tlb::new(tlb_entries, tlb_assoc)).collect()
+            (0..ncpus)
+                .map(|_| Tlb::new(tlb_entries, tlb_assoc))
+                .collect()
         } else {
             Vec::new()
         };
@@ -125,10 +127,7 @@ impl Vm {
                     .alloc_on(home)
                     .expect("simulated memory exhausted during shmget");
                 self.homes.place_eager(ppn, home);
-                self.shm
-                    .segment_mut(seg)
-                    .expect("just created")
-                    .frames[idx as usize] = Some(ppn);
+                self.shm.segment_mut(seg).expect("just created").frames[idx as usize] = Some(ppn);
                 self.stats.pages_mapped += 1;
             }
         }
@@ -151,11 +150,7 @@ impl Vm {
         let mut installed = 0;
         for (idx, frame) in frames {
             if let Some(ppn) = frame {
-                self.tables[pid.index()].map(
-                    base + idx * PAGE_SIZE,
-                    ppn,
-                    PageFlags::SHARED_RW,
-                );
+                self.tables[pid.index()].map(base + idx * PAGE_SIZE, ppn, PageFlags::SHARED_RW);
                 installed += 1;
             }
         }
@@ -168,7 +163,10 @@ impl Vm {
         let pages = self.shm.segment(seg).expect("detach succeeded").pages();
         let mut removed = 0;
         for idx in 0..pages {
-            if self.tables[pid.index()].unmap(base + idx * PAGE_SIZE).is_some() {
+            if self.tables[pid.index()]
+                .unmap(base + idx * PAGE_SIZE)
+                .is_some()
+            {
                 removed += 1;
             }
         }
@@ -180,7 +178,10 @@ impl Vm {
         let pages = len.div_ceil(PAGE_SIZE);
         let mut removed = 0;
         for i in 0..pages {
-            if self.tables[pid.index()].unmap(base + i * PAGE_SIZE).is_some() {
+            if self.tables[pid.index()]
+                .unmap(base + i * PAGE_SIZE)
+                .is_some()
+            {
                 removed += 1;
             }
         }
@@ -284,8 +285,7 @@ impl Vm {
                             .alloc_on(home)
                             .expect("simulated memory exhausted (shm page)");
                         self.homes.place_eager(ppn, home);
-                        self.shm.segment_mut(seg).expect("segment exists").frames[idx] =
-                            Some(ppn);
+                        self.shm.segment_mut(seg).expect("segment exists").frames[idx] = Some(ppn);
                         self.stats.pages_mapped += 1;
                         ppn
                     }

@@ -4,12 +4,12 @@
 //! interplay, lock grant ordering, and device task scheduling.
 
 use compass_arch::ArchConfig;
+use compass_backend::devices::NullTraffic;
 use compass_backend::{Backend, BackendConfig};
 use compass_comm::{
     BlockReason, CpuStates, CtlOp, DevCmd, DevShared, Event, EventBody, EventPort, ExecMode,
     MemRefKind, Notifier, ReplyData, SyncOp,
 };
-use compass_backend::devices::NullTraffic;
 use compass_isa::{DiskId, ProcessId};
 use compass_mem::VAddr;
 use std::sync::Arc;

@@ -1,33 +1,45 @@
 //! F1/F2 micro-benchmarks: the Communicator's "custom built Shared Memory
 //! Message Passing" (§2). Measures event-port round trips (the cost every
-//! simulated memory reference pays) and OS-port calls.
+//! simulated memory reference pays), the batched-publication fast path at
+//! several batch depths, and OS-port calls.
 
 use compass_comm::{CtlOp, Event, EventBody, EventPort, Notifier, Reply, ReqPort};
 use compass_isa::ProcessId;
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::sync::Arc;
+
+/// Spawns a consumer thread draining `port` as fast as it can, replying to
+/// every blocking event with the accumulated latency of the non-blocking
+/// events before it (what the engine's credit accounting does).
+fn spawn_consumer(
+    port: Arc<EventPort>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut credit = 0u64;
+        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+            if let Some((_ev, wants_reply)) = port.pop() {
+                if wants_reply {
+                    port.reply(Reply::latency(1 + std::mem::take(&mut credit)));
+                } else {
+                    credit += 1;
+                }
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    })
+}
 
 fn bench_event_port(c: &mut Criterion) {
     let mut g = c.benchmark_group("comm_ports");
     g.sample_size(30);
 
-    // A consumer thread serving one port as fast as it can.
+    // Classic per-event rendezvous: one blocking round trip per event.
     let notifier = Arc::new(Notifier::new());
     let port = Arc::new(EventPort::new(ProcessId(0), Arc::clone(&notifier)));
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
-    let consumer = {
-        let port = Arc::clone(&port);
-        let stop = Arc::clone(&stop);
-        std::thread::spawn(move || {
-            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                if port.take().is_some() {
-                    port.reply(Reply::latency(1));
-                } else {
-                    std::thread::yield_now();
-                }
-            }
-        })
-    };
+    let consumer = spawn_consumer(Arc::clone(&port), Arc::clone(&stop));
     g.bench_function("event_port_roundtrip", |b| {
         let mut t = 0u64;
         b.iter(|| {
@@ -41,6 +53,44 @@ fn bench_event_port(c: &mut Criterion) {
     });
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     consumer.join().expect("consumer");
+
+    // Batched publication: depth-1 batches reproduce the classic protocol;
+    // deeper batches amortise the rendezvous over the whole batch. Each
+    // iteration posts one full batch (depth events, last one blocking), so
+    // Throughput::Elements(depth) reports events/second.
+    for depth in [1u64, 2, 4, 8, 16, 32] {
+        let notifier = Arc::new(Notifier::new());
+        let port = Arc::new(EventPort::with_capacity(
+            ProcessId(0),
+            Arc::clone(&notifier),
+            64,
+        ));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let consumer = spawn_consumer(Arc::clone(&port), Arc::clone(&stop));
+        g.throughput(Throughput::Elements(depth));
+        g.bench_function(format!("event_batch_depth_{depth}"), |b| {
+            let mut t = 0u64;
+            b.iter(|| {
+                for _ in 0..depth - 1 {
+                    t += 1;
+                    port.post_batched(Event {
+                        pid: ProcessId(0),
+                        time: t,
+                        body: EventBody::Ctl(CtlOp::Yield),
+                    });
+                }
+                t += 1;
+                port.post(Event {
+                    pid: ProcessId(0),
+                    time: t,
+                    body: EventBody::Ctl(CtlOp::Yield),
+                })
+            });
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        consumer.join().expect("consumer");
+    }
+    g.throughput(Throughput::Elements(1));
 
     // The OS port (mutex/condvar rendezvous).
     let req: Arc<ReqPort<u64, u64>> = Arc::new(ReqPort::new());

@@ -60,6 +60,22 @@ fn bench_slowdown(c: &mut Criterion) {
             })
         });
     }
+
+    // Event-batch depth sweep: same simulation (bit-identical stats), less
+    // rendezvous overhead per event as the depth grows.
+    for depth in [1usize, 4, 16] {
+        g.bench_function(format!("smp_pipelined_batch_{depth}"), |b| {
+            b.iter(|| {
+                let mut run = TpcdRun::new(ArchConfig::ccnuma(2, 2));
+                run.mode = EngineMode::Pipelined;
+                run.workers = 4;
+                run.batch_depth = depth;
+                run.data = data();
+                run.query = Query::Q1(1_600);
+                run.run()
+            })
+        });
+    }
     g.finish();
 }
 

@@ -16,7 +16,15 @@ fn bench_profiles(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function("specweb_httplite", |b| {
-        b.iter(|| run_specweb(ArchConfig::ccnuma(2, 2), 2, FileSetConfig { dirs: 1 }, 16, 4))
+        b.iter(|| {
+            run_specweb(
+                ArchConfig::ccnuma(2, 2),
+                2,
+                FileSetConfig { dirs: 1 },
+                16,
+                4,
+            )
+        })
     });
 
     g.bench_function("tpcd_db2lite", |b| {

@@ -7,29 +7,80 @@ fn main() {
     let which = std::env::args().nth(1).unwrap_or_default();
     match which.as_str() {
         "web" => {
-            let n: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(20);
-            let (r, wall) = timed(|| run_specweb(ArchConfig::ccnuma(2, 2), 4, FileSetConfig { dirs: 2 }, n, 6));
+            let n: u32 = std::env::args()
+                .nth(2)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(20);
+            let (r, wall) =
+                timed(|| run_specweb(ArchConfig::ccnuma(2, 2), 4, FileSetConfig { dirs: 2 }, n, 6));
             println!("web {n}: {} events in {wall:?}", r.backend.events);
         }
         "tpcc" => {
-            let n: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+            let n: u32 = std::env::args()
+                .nth(2)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(10);
             let cfg = compass_workloads::db2lite::tpcc::TpccConfig {
-                districts: 4, customers: 32, items: 64,
-                txns_per_terminal: n, new_order_pct: 50, seed: 7,
+                districts: 4,
+                customers: 32,
+                items: 64,
+                txns_per_terminal: n,
+                new_order_pct: 50,
+                seed: 7,
             };
-            let ((r, _), wall) = timed(|| run_tpcc(ArchConfig::ccnuma(2, 2), 4, cfg, compass::SchedPolicy::Fcfs, None));
+            let ((r, _), wall) = timed(|| {
+                run_tpcc(
+                    ArchConfig::ccnuma(2, 2),
+                    4,
+                    cfg,
+                    compass::SchedPolicy::Fcfs,
+                    None,
+                )
+            });
             println!("tpcc {n}: {} events in {wall:?}", r.backend.events);
         }
         "tpcd" => {
-            let n: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+            let n: u32 = std::env::args()
+                .nth(2)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(60_000);
             let mut run = TpcdRun::new(ArchConfig::ccnuma(2, 2));
             run.workers = 4;
-            run.data = compass_workloads::db2lite::tpcd::TpcdConfig { lineitems: n, orders: n / 4, seed: 1 };
+            run.data = compass_workloads::db2lite::tpcd::TpcdConfig {
+                lineitems: n,
+                orders: n / 4,
+                seed: 1,
+            };
             run.query = compass_workloads::db2lite::tpcd::Query::Q1(1_600);
             run.pool_pages = 96;
             let ((r, _), wall) = timed(|| run.run());
             println!("tpcd {n}: {} events in {wall:?}", r.backend.events);
         }
-        _ => eprintln!("usage: probe web|tpcc|tpcd [n]"),
+        "batch" => {
+            // Cross-depth check at the CLI: same TPC-D run at several
+            // batch depths must report identical simulated results.
+            let n: u32 = std::env::args()
+                .nth(2)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(20_000);
+            for depth in [1usize, 4, 16] {
+                let mut run = TpcdRun::new(ArchConfig::ccnuma(2, 2));
+                run.workers = 4;
+                run.batch_depth = depth;
+                run.data = compass_workloads::db2lite::tpcd::TpcdConfig {
+                    lineitems: n,
+                    orders: n / 4,
+                    seed: 1,
+                };
+                run.query = compass_workloads::db2lite::tpcd::Query::Q1(1_600);
+                run.pool_pages = 96;
+                let ((r, _), wall) = timed(|| run.run());
+                println!(
+                    "batch depth {depth:>2}: {} events, {} simulated cycles, wall {wall:?}",
+                    r.backend.events, r.backend.global_cycles
+                );
+            }
+        }
+        _ => eprintln!("usage: probe web|tpcc|tpcd|batch [n]"),
     }
 }

@@ -1,0 +1,108 @@
+//! **Communicator throughput report** — events/second through one event
+//! port at several batch depths, as machine-readable JSON (the record
+//! behind `BENCH_comm.json`).
+//!
+//! Depth 1 is the classic one-rendezvous-per-event protocol; deeper
+//! batches publish `depth - 1` events non-blocking and rendezvous only on
+//! the batch's final event, amortising the park/unpark round trip. The
+//! consumer thread mirrors the engine's credit accounting: it banks the
+//! latency of every non-blocking event and folds the bank into the next
+//! blocking reply.
+
+use compass_comm::{CtlOp, Event, EventBody, EventPort, Notifier, Reply};
+use compass_isa::ProcessId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn events_per_sec(depth: usize, total_events: u64) -> f64 {
+    let notifier = Arc::new(Notifier::new());
+    let port = Arc::new(EventPort::with_capacity(
+        ProcessId(0),
+        Arc::clone(&notifier),
+        64.max(depth),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let consumer = {
+        let port = Arc::clone(&port);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut credit = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if let Some((_ev, wants_reply)) = port.pop() {
+                    if wants_reply {
+                        port.reply(Reply::latency(1 + std::mem::take(&mut credit)));
+                    } else {
+                        credit += 1;
+                    }
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    };
+    let ev = |t: u64| Event {
+        pid: ProcessId(0),
+        time: t,
+        body: EventBody::Ctl(CtlOp::Yield),
+    };
+    // Warm up the consumer, then measure whole batches.
+    for t in 0..1_000 {
+        port.post(ev(t));
+    }
+    let batches = total_events / depth as u64;
+    let t0 = Instant::now();
+    let mut t = 1_000u64;
+    for _ in 0..batches {
+        for _ in 0..depth - 1 {
+            t += 1;
+            port.post_batched(ev(t));
+        }
+        t += 1;
+        port.post(ev(t));
+    }
+    let wall = t0.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    consumer.join().expect("consumer");
+    (batches * depth as u64) as f64 / wall.as_secs_f64()
+}
+
+fn main() {
+    let total_events: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400_000);
+    let depths = [1usize, 2, 4, 8, 16, 32];
+    let mut rows = Vec::new();
+    for &d in &depths {
+        let eps = events_per_sec(d, total_events);
+        eprintln!("depth {d:>2}: {eps:>12.0} events/s");
+        rows.push((d, eps));
+    }
+    let base = rows[0].1;
+    let (best_depth, best) = rows
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(d, eps)| {
+            format!(
+                "    {{\"depth\": {d}, \"events_per_sec\": {eps:.0}, \"speedup_vs_depth1\": {:.2}}}",
+                eps / base
+            )
+        })
+        .collect();
+    println!("{{");
+    println!("  \"bench\": \"comm_event_port\",");
+    println!("  \"total_events\": {total_events},");
+    println!("  \"depths\": [");
+    println!("{}", entries.join(",\n"));
+    println!("  ],");
+    println!("  \"depth1_events_per_sec\": {base:.0},");
+    println!("  \"best_depth\": {best_depth},");
+    println!("  \"best_events_per_sec\": {best:.0},");
+    println!("  \"best_speedup_vs_depth1\": {:.2}", best / base);
+    println!("}}");
+}

@@ -38,8 +38,7 @@ fn main() {
         run.sched = compass::SchedPolicy::Affinity;
         let (r, _) = run.run();
         let m = &r.backend.mem;
-        let l2_miss: u64 = (0..4).map(|_| 0).sum::<u64>()
-            + m.accesses.iter().sum::<u64>()
+        let l2_miss: u64 = (0..4).map(|_| 0).sum::<u64>() + m.accesses.iter().sum::<u64>()
             - m.l1_hits.iter().sum::<u64>()
             - m.l2_hits.iter().sum::<u64>();
         println!(

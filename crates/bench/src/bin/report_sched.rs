@@ -24,7 +24,14 @@ fn main() {
     println!("== S1: scheduler study (TPC-C mix, 6 terminals on 2 CPUs) ==\n");
     println!(
         "{:<22} {:>10} {:>9} {:>9} {:>9} {:>11} {:>10} {:>12}",
-        "scheduler", "dispatches", "same-cpu", "migrate", "preempt", "tlb-miss%", "l1-miss%", "sim Mcycles"
+        "scheduler",
+        "dispatches",
+        "same-cpu",
+        "migrate",
+        "preempt",
+        "tlb-miss%",
+        "l1-miss%",
+        "sim Mcycles"
     );
     for (name, sched, preempt) in [
         ("FCFS", SchedPolicy::Fcfs, None),

@@ -18,9 +18,9 @@
 
 use compass::report::{format_syscall_table, format_table1};
 use compass::{ArchConfig, SchedPolicy};
-use compass_bench::{run_specweb, run_sci, run_tpcc, TpcdRun};
-use compass_workloads::db2lite::tpcd::{Query, TpcdConfig};
+use compass_bench::{run_sci, run_specweb, run_tpcc, TpcdRun};
 use compass_workloads::db2lite::tpcc::TpccConfig;
+use compass_workloads::db2lite::tpcd::{Query, TpcdConfig};
 use compass_workloads::httplite::FileSetConfig;
 use compass_workloads::sci::SciConfig;
 

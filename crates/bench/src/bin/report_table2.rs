@@ -65,7 +65,10 @@ fn main() {
 
     println!("{}", slowdown_row("raw", raw_wall, raw_wall));
     println!("{}", slowdown_row("simple backend", raw_wall, simple_wall));
-    println!("{}", slowdown_row("complex backend", raw_wall, complex_wall));
+    println!(
+        "{}",
+        slowdown_row("complex backend", raw_wall, complex_wall)
+    );
     println!(
         "\nevents: simple {}  complex {}   simulated cycles: simple {}  complex {}",
         simple_report.backend.events,

@@ -26,11 +26,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2);
     let data = TpcdConfig::scaled_mb(scale_mb);
-    println!(
-        "== Table 3: slowdown on a 4-way SMP host (TPC-D Q1, {scale_mb} MB, 4 workers) ==",
-    );
+    println!("== Table 3: slowdown on a 4-way SMP host (TPC-D Q1, {scale_mb} MB, 4 workers) ==",);
     println!("paper claim: complex backend >= 2x faster on the SMP host\n");
-    println!("host CPUs available: {}\n", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    println!(
+        "host CPUs available: {}\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
 
     let mut run = TpcdRun::new(ArchConfig::ccnuma(2, 2));
     run.workers = 4;

@@ -4,9 +4,9 @@
 //! Every experiment of the paper maps to a function here; see DESIGN.md's
 //! experiment index and EXPERIMENTS.md for the paper-vs-measured record.
 
-use compass::{ArchConfig, CpuCtx, EngineMode, PlacementPolicy, SchedPolicy, SimBuilder};
 use compass::runner::RunReport;
-use compass_workloads::db2lite::tpcc::{self, TpccConfig, TerminalStats};
+use compass::{ArchConfig, CpuCtx, EngineMode, PlacementPolicy, SchedPolicy, SimBuilder};
+use compass_workloads::db2lite::tpcc::{self, TerminalStats, TpccConfig};
 use compass_workloads::db2lite::tpcd::{self, Query, QueryResults, TpcdConfig};
 use compass_workloads::db2lite::{Db2Config, Db2Shared};
 use compass_workloads::httplite::{
@@ -46,6 +46,8 @@ pub struct TpcdRun {
     pub sched: SchedPolicy,
     /// Pre-emption interval (S1).
     pub preempt: Option<u64>,
+    /// Frontend event-batch depth (1 = classic per-event rendezvous).
+    pub batch_depth: usize,
 }
 
 impl TpcdRun {
@@ -62,6 +64,7 @@ impl TpcdRun {
             sample_period: 1,
             sched: SchedPolicy::Fcfs,
             preempt: None,
+            batch_depth: 8,
         }
     }
 
@@ -92,6 +95,7 @@ impl TpcdRun {
         cfg.backend.sched = self.sched;
         cfg.backend.preempt_interval = self.preempt;
         cfg.backend.timer_interval = self.preempt;
+        cfg.backend.batch_depth = self.batch_depth;
         cfg.sample_period = self.sample_period;
         cfg.backend.deadlock_ms = 30_000;
         (b.run(), results)
@@ -114,8 +118,10 @@ impl TpcdRun {
                 tpcd::load(k, &shared, data);
             },
             move |cpu: &mut CpuCtx| {
-                let session =
-                    compass_workloads::db2lite::Db2Session::attach(cpu, Arc::clone(&shared_for_body));
+                let session = compass_workloads::db2lite::Db2Session::attach(
+                    cpu,
+                    Arc::clone(&shared_for_body),
+                );
                 let r = match query {
                     Query::Q1(cutoff) => {
                         let groups = tpcd::q1_worker(cpu, &session, cutoff, 0, 1);

@@ -134,7 +134,9 @@ impl CpuStates {
     /// Adds interrupt-handler steal cycles to `cpu` (accumulated by the
     /// backend, folded into the next reply of the process running there).
     pub fn add_steal(&self, cpu: CpuId, cycles: u64) {
-        self.cpus[cpu.index()].steal.fetch_add(cycles, Ordering::AcqRel);
+        self.cpus[cpu.index()]
+            .steal
+            .fetch_add(cycles, Ordering::AcqRel);
     }
 
     /// Takes (and clears) the accumulated steal cycles of `cpu`.
@@ -156,7 +158,10 @@ mod tests {
         assert_eq!(s.pending(C0), 0);
         s.raise(C0, IrqSource::Disk);
         s.raise(C0, IrqSource::Timer);
-        assert_eq!(s.pending(C0), IrqSource::Disk.mask() | IrqSource::Timer.mask());
+        assert_eq!(
+            s.pending(C0),
+            IrqSource::Disk.mask() | IrqSource::Timer.mask()
+        );
         assert_eq!(s.pending(C1), 0, "per-CPU isolation");
         s.clear(C0, IrqSource::Disk);
         assert_eq!(s.pending(C0), IrqSource::Timer.mask());

@@ -9,13 +9,15 @@
 //! In this reproduction the "shared memory segment" is process memory
 //! shared between host threads; the blocking primitives are built from
 //! atomics plus `thread::park`/`unpark` (see *Rust Atomics and Locks*,
-//! ch. 4–5, whose single-slot channel design the [`rendezvous`] module
-//! follows).
+//! ch. 4–5, whose one-shot channel design the [`rendezvous`] module's
+//! reply slot follows). The non-blocking primitive is a bounded SPSC event
+//! ring per port: the frontend batches a basic block's worth of timed
+//! events and rendezvouses only on the batch's final (blocking) event.
 //!
 //! Contents:
 //!
 //! * [`event`] — the event/reply ABI between frontends and the backend;
-//! * [`rendezvous`] — the single-slot blocking rendezvous primitive;
+//! * [`rendezvous`] — the bounded event ring with its blocking-reply slot;
 //! * [`port`] — event ports (hot, atomics-based) and generic request ports
 //!   (OS ports use these);
 //! * [`cpu_states`] — the shared "CPU-states" area with interrupt request
@@ -35,8 +37,8 @@ pub mod rendezvous;
 pub use cpu_states::{CpuStates, IrqSource};
 pub use devshared::{DevShared, DiskCompletion, Frame, FrameKind, TimerTick};
 pub use event::{
-    BlockReason, CtlOp, DevCmd, Event, EventBody, ExecMode, MemRefKind, Reply, ReplyData,
-    SyncOp,
+    BlockReason, CtlOp, DevCmd, Event, EventBody, ExecMode, MemRefKind, Reply, ReplyData, SyncOp,
 };
 pub use notifier::Notifier;
-pub use port::{EventPort, ReqPort};
+pub use port::{EventPort, ReqPort, DEFAULT_RING_CAPACITY};
+pub use rendezvous::EventRing;

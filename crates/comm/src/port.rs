@@ -5,70 +5,106 @@
 //! contains the per-process and per-event data structures which are shared
 //! between the frontend and backend processes." (§2)
 //!
-//! The [`EventPort`] wraps the atomics-based [`crate::rendezvous::EventSlot`]
-//! and notifies the backend after each post. The [`ReqPort`] is the generic
-//! blocking request/response rendezvous used for OS ports ("The OS port is
-//! used to accept OS calls from an application process", §3.1); OS calls
-//! are orders of magnitude rarer than memory events, so a mutex/condvar
-//! implementation is appropriate there.
+//! The [`EventPort`] wraps the bounded [`crate::rendezvous::EventRing`]:
+//! the frontend appends a basic block's worth of timed events with
+//! [`EventPort::post_batched`] (non-blocking; at most one backend wake-up
+//! per batch) and rendezvouses with [`EventPort::post`] on the batch's
+//! final event, whose reply aggregates the batched latencies. The
+//! [`ReqPort`] is the generic blocking request/response rendezvous used for
+//! OS ports ("The OS port is used to accept OS calls from an application
+//! process", §3.1); OS calls are orders of magnitude rarer than memory
+//! events, so a mutex/condvar implementation is appropriate there.
 
 use crate::event::{Event, Reply};
 use crate::notifier::Notifier;
-use crate::rendezvous::EventSlot;
+use crate::rendezvous::EventRing;
 use compass_isa::{Cycles, ProcessId};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
+/// Default ring capacity: comfortably above any sensible batch depth, small
+/// enough that a port stays within a few cache lines of slot storage.
+pub const DEFAULT_RING_CAPACITY: usize = 64;
+
 /// A per-process event port: the frontend (or its paired OS thread) posts
-/// timed events; the backend scans, takes, and replies.
+/// timed events; the backend scans, pops, and replies to blocking entries.
 pub struct EventPort {
     /// The process this port belongs to.
     pub pid: ProcessId,
-    slot: EventSlot,
+    ring: EventRing,
     notifier: Arc<Notifier>,
 }
 
 impl EventPort {
-    /// Creates a port for `pid` that notifies `notifier` on every post.
+    /// Creates a port for `pid` with the default ring capacity.
     pub fn new(pid: ProcessId, notifier: Arc<Notifier>) -> Self {
+        Self::with_capacity(pid, notifier, DEFAULT_RING_CAPACITY)
+    }
+
+    /// Creates a port whose ring holds at most `capacity` events — the
+    /// upper bound on the frontend's batch depth.
+    pub fn with_capacity(pid: ProcessId, notifier: Arc<Notifier>, capacity: usize) -> Self {
         Self {
             pid,
-            slot: EventSlot::new(),
+            ring: EventRing::new(capacity),
             notifier,
         }
     }
 
-    /// Posts an event and blocks until the backend replies.
+    /// The ring capacity (maximum batch length).
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Posts a blocking event: publishes it, wakes the backend, and parks
+    /// until the reply. Any events batched before it are consumed first;
+    /// the reply's latency aggregates theirs (credit accounting lives in
+    /// the backend).
     pub fn post(&self, ev: Event) -> Reply {
         debug_assert_eq!(ev.pid, self.pid, "event posted on foreign port");
-        // The notification must reach the backend *after* the slot is
-        // POSTED; EventSlot::post performs the Release store before
-        // returning control… but it also blocks. Notify from inside the
-        // post path instead: the slot exposes the state machine, so we
-        // split post into publish + wait.
-        self.slot.post_with(ev, || self.notifier.notify())
+        // The notification must reach the backend *after* the ring publish;
+        // post_with runs the hook between the Release publish and parking.
+        self.ring.post_with(ev, || self.notifier.notify())
     }
 
-    /// Backend: peeks the pending event's timestamp.
+    /// Appends a non-blocking event to the batch and returns immediately.
+    /// The backend is woken only when the ring transitions empty→non-empty
+    /// (its cached view of this port may be stale then) — so a whole batch
+    /// costs at most one notify before the cut.
+    pub fn post_batched(&self, ev: Event) {
+        debug_assert_eq!(ev.pid, self.pid, "event posted on foreign port");
+        if self.ring.publish(ev, false) {
+            self.notifier.notify();
+        }
+    }
+
+    /// Backend: peeks the head event's timestamp (as posted — the backend
+    /// adds any latency credit it owes this process).
     #[inline]
     pub fn peek_time(&self) -> Option<Cycles> {
-        self.slot.peek_time()
+        self.ring.peek_time()
     }
 
-    /// Backend: takes the pending event.
-    pub fn take(&self) -> Option<Event> {
-        self.slot.take()
+    /// Backend: pops the head event. The `bool` is `wants_reply`: `true`
+    /// means a producer is parked until [`EventPort::reply`] (possibly much
+    /// later — deferred replies implement blocking calls and descheduling).
+    pub fn pop(&self) -> Option<(Event, bool)> {
+        self.ring.pop()
     }
 
-    /// Backend: replies to the taken event (possibly much later — deferred
-    /// replies implement blocking calls and descheduling).
+    /// Backend: replies to the outstanding blocking event.
     pub fn reply(&self, r: Reply) {
-        self.slot.reply(r);
+        self.ring.reply(r);
     }
 
-    /// True while the backend holds this port's event without replying.
-    pub fn is_held(&self) -> bool {
-        self.slot.is_held()
+    /// Number of unconsumed events in the ring (diagnostic).
+    pub fn pending(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True while a poster is parked on this port awaiting a reply.
+    pub fn has_blocked_poster(&self) -> bool {
+        self.ring.has_blocked_poster()
     }
 }
 
@@ -151,27 +187,52 @@ mod tests {
     use crate::event::{CtlOp, EventBody};
     use std::thread;
 
+    fn ev(pid: u32, time: Cycles) -> Event {
+        Event {
+            pid: ProcessId(pid),
+            time,
+            body: EventBody::Ctl(CtlOp::Yield),
+        }
+    }
+
     #[test]
     fn event_port_notifies_backend() {
         let notifier = Arc::new(Notifier::new());
         let port = Arc::new(EventPort::new(ProcessId(3), Arc::clone(&notifier)));
         let seen = notifier.epoch();
         let p2 = Arc::clone(&port);
-        let poster = thread::spawn(move || {
-            p2.post(Event {
-                pid: ProcessId(3),
-                time: 11,
-                body: EventBody::Ctl(CtlOp::Yield),
-            })
-        });
+        let poster = thread::spawn(move || p2.post(ev(3, 11)));
         // Backend side: wait for the notification, then serve.
         let (_, advanced) = notifier.wait_past(seen, std::time::Duration::from_secs(5));
         assert!(advanced);
         assert_eq!(port.peek_time(), Some(11));
-        let ev = port.take().unwrap();
-        assert_eq!(ev.pid, ProcessId(3));
+        let (e, wants) = port.pop().unwrap();
+        assert_eq!(e.pid, ProcessId(3));
+        assert!(wants);
         port.reply(Reply::latency(2));
         assert_eq!(poster.join().unwrap().latency, 2);
+    }
+
+    #[test]
+    fn batched_posts_notify_once_and_drain_in_order() {
+        let notifier = Arc::new(Notifier::new());
+        let port = EventPort::with_capacity(ProcessId(0), Arc::clone(&notifier), 8);
+        let e0 = notifier.epoch();
+        port.post_batched(ev(0, 1));
+        port.post_batched(ev(0, 2));
+        port.post_batched(ev(0, 3));
+        assert_eq!(
+            notifier.epoch(),
+            e0 + 1,
+            "only the empty→non-empty append notifies"
+        );
+        assert_eq!(port.pending(), 3);
+        for t in 1..=3 {
+            let (e, wants) = port.pop().unwrap();
+            assert_eq!(e.time, t);
+            assert!(!wants, "batched events need no reply");
+        }
+        assert!(port.pop().is_none());
     }
 
     #[test]

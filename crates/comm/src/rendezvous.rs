@@ -1,164 +1,257 @@
-//! The single-slot blocking rendezvous underlying every event port.
+//! The bounded event ring underlying every event port.
 //!
 //! "When the event port is invoked, it notifies the backend that it has a
 //! message, and in the normal case waits for a reply, which prevents the
-//! frontend process from proceeding." (§2)
+//! frontend process from proceeding." (§2) The same section distinguishes
+//! *blocking* from *non-blocking* message passing primitives: most timed
+//! events need no individual reply, so the frontend may publish a basic
+//! block's worth of them and rendezvous only on the last.
 //!
-//! The slot is a single-producer (the frontend or its paired OS thread —
-//! never both at once, the OS-port rendezvous guarantees that) /
-//! single-consumer (the backend) channel with four states:
+//! The ring is a single-producer (the frontend or its paired OS thread —
+//! never both at once; the OS-port rendezvous serialises the handoff) /
+//! single-consumer (the backend) bounded SPSC queue of `(Event, wants_reply)`
+//! entries, plus a one-shot reply slot for the single outstanding blocking
+//! entry:
 //!
 //! ```text
-//!   EMPTY --post--> POSTED --take--> TAKEN --reply--> REPLIED --ack--> EMPTY
+//!   producer:  publish(ev, false)*  → publish(ev, true) + park
+//!   consumer:  pop … pop            → reply(r) + unpark
 //! ```
 //!
-//! `post` blocks until the reply arrives; the backend may *hold* a taken
-//! event arbitrarily long (deferred replies implement blocking OS calls,
-//! lock waits and descheduling). The design follows the one-shot channel of
-//! *Rust Atomics and Locks* ch. 5, extended with the TAKEN state and a
-//! lock-free `peek` of the event timestamp so the backend's least-time
-//! scanner never locks.
+//! At most one blocking entry is ever outstanding: the producer parks on it,
+//! and cross-producer handoff (frontend → OS thread) only happens while the
+//! frontend is blocked *outside* the ring, in the OS request port. The
+//! reply slot is the one-shot channel of *Rust Atomics and Locks* ch. 5;
+//! the ring adds the batching described in ISSUE 1.
 
 use crate::event::{Event, Reply};
 use compass_isa::Cycles;
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
 use std::thread::{self, Thread};
 
-const EMPTY: u32 = 0;
-const POSTED: u32 = 1;
-const TAKEN: u32 = 2;
-const REPLIED: u32 = 3;
+/// Reply slot: no blocking entry outstanding.
+const IDLE: u32 = 0;
+/// Producer has published a blocking entry and parks until REPLIED.
+const WAITING: u32 = 1;
+/// Consumer has written the reply; producer consumes it and returns to IDLE.
+const REPLIED: u32 = 2;
 
-/// A single-slot event rendezvous.
+struct Slot {
+    ev: UnsafeCell<Event>,
+    wants_reply: UnsafeCell<bool>,
+}
+
+/// A bounded SPSC ring of timed events with a blocking-reply rendezvous.
 ///
-/// The poster side and consumer side may live on different threads; the
-/// state machine synchronises payload access, so the `UnsafeCell`s are
-/// data-race free (acquire/release pairs on `state`).
-pub struct EventSlot {
-    state: CachePadded<AtomicU32>,
-    /// Event timestamp mirror for lock-free peeking.
-    time: AtomicU64,
-    event: UnsafeCell<Event>,
+/// Producer-side methods: [`EventRing::publish`], [`EventRing::post`].
+/// Consumer-side methods: [`EventRing::peek_time`], [`EventRing::pop`],
+/// [`EventRing::reply`]. The slot cells are data-race free: the Release
+/// store of `tail` publishes slot contents to the Acquire load in
+/// `pop`/`peek_time`, and the Release store of `head` returns the slot to
+/// the producer via the Acquire load in `publish`.
+pub struct EventRing {
+    cap: usize,
+    /// Consumer cursor: next index to pop.
+    head: CachePadded<AtomicU64>,
+    /// Producer cursor: next index to fill. `head == tail` ⇒ empty.
+    tail: CachePadded<AtomicU64>,
+    slots: Box<[Slot]>,
+    reply_state: CachePadded<AtomicU32>,
     reply: UnsafeCell<Reply>,
-    /// The thread currently blocked in `post`, to be unparked on reply.
+    /// The thread parked in `post`, to be unparked on reply.
     poster: Mutex<Option<Thread>>,
 }
 
-// SAFETY: `event` is written by the poster before the Release store of
-// POSTED and read by the consumer after an Acquire load; `reply` is written
-// by the consumer before the Release store of REPLIED and read by the
-// poster after an Acquire load. The state machine admits exactly one writer
-// per cell per cycle.
-unsafe impl Sync for EventSlot {}
-unsafe impl Send for EventSlot {}
+// SAFETY: slot cells are gated by the head/tail cursors (see struct docs);
+// the reply cell is gated by the reply_state machine exactly as in the old
+// single-slot design: written by the consumer while WAITING (producer is
+// parked), read by the producer after observing REPLIED with Acquire.
+unsafe impl Sync for EventRing {}
+unsafe impl Send for EventRing {}
 
-impl Default for EventSlot {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl EventSlot {
-    /// Creates an empty slot.
-    pub fn new() -> Self {
-        // The placeholder contents are never read: state gates access.
-        let placeholder_event = Event {
+impl EventRing {
+    /// Creates an empty ring holding at most `cap` events.
+    ///
+    /// `cap` bounds a frontend batch: the producer must consume a reply
+    /// (i.e. cut the batch with a blocking post) at least every `cap`
+    /// events, or `publish` panics.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "EventRing capacity must be at least 1");
+        // The placeholder contents are never read: cursors gate access.
+        let placeholder = Event {
             pid: compass_isa::ProcessId(u32::MAX),
             time: 0,
             body: crate::event::EventBody::Ctl(crate::event::CtlOp::Yield),
         };
-        EventSlot {
-            state: CachePadded::new(AtomicU32::new(EMPTY)),
-            time: AtomicU64::new(0),
-            event: UnsafeCell::new(placeholder_event),
+        let slots = (0..cap)
+            .map(|_| Slot {
+                ev: UnsafeCell::new(placeholder),
+                wants_reply: UnsafeCell::new(false),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        EventRing {
+            cap,
+            head: CachePadded::new(AtomicU64::new(0)),
+            tail: CachePadded::new(AtomicU64::new(0)),
+            slots,
+            reply_state: CachePadded::new(AtomicU32::new(IDLE)),
             reply: UnsafeCell::new(Reply::latency(0)),
             poster: Mutex::new(None),
         }
     }
 
-    /// Posts `ev` and blocks until the consumer replies.
+    /// Ring capacity (the maximum batch length).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Producer: appends `ev` without blocking. Returns `true` if the ring
+    /// was observably empty before the append — i.e. the consumer may have
+    /// gone idle and needs a wake-up; callers use this to notify at most
+    /// once per batch.
     ///
     /// # Panics
-    /// Panics if the slot is not EMPTY (two posters, or a poster that did
-    /// not wait for its previous reply — both violate the port protocol).
+    /// Panics on overflow: the producer published `cap` events without a
+    /// batch cut (blocking post), which violates the port protocol.
+    pub fn publish(&self, ev: Event, wants_reply: bool) -> bool {
+        let tail = self.tail.load(Ordering::Relaxed); // producer-owned
+        let head = self.head.load(Ordering::Acquire);
+        assert!(
+            tail - head < self.cap as u64,
+            "EventRing overflow: {} events published without a batch cut (cap {})",
+            self.cap,
+            self.cap,
+        );
+        let slot = &self.slots[(tail as usize) % self.cap];
+        // SAFETY: `tail - head < cap` means the consumer has returned this
+        // slot (its head Release / our head Acquire ordered those reads
+        // before this write); the consumer will not read it until the tail
+        // store below.
+        unsafe {
+            *slot.ev.get() = ev;
+            *slot.wants_reply.get() = wants_reply;
+        }
+        self.tail.store(tail + 1, Ordering::Release);
+        // Store-load fence paired with the one in `pop`: either the
+        // consumer's post-pop peek sees this tail, or we see its final
+        // head — so an empty→non-empty transition is never missed by both
+        // sides at once (a lost transition would leave the consumer
+        // sleeping on a stale "port empty" cache until the next notify).
+        fence(Ordering::SeqCst);
+        self.head.load(Ordering::Relaxed) == tail
+    }
+
+    /// Producer: publishes a blocking entry and parks until the consumer
+    /// replies. Any entries batched before it are consumed first (FIFO),
+    /// and the reply conventionally aggregates their latencies.
     pub fn post(&self, ev: Event) -> Reply {
         self.post_with(ev, || {})
     }
 
-    /// Like [`EventSlot::post`], but runs `after_publish` once the event is
-    /// visible to the consumer and before blocking — the hook ports use to
+    /// Like [`EventRing::post`], but runs `after_publish` once the entry is
+    /// visible to the consumer and before parking — the hook ports use to
     /// notify the backend without racing the publish.
     pub fn post_with(&self, ev: Event, after_publish: impl FnOnce()) -> Reply {
         *self.poster.lock() = Some(thread::current());
-        // SAFETY: slot is EMPTY (asserted below via the CAS), so the
-        // consumer is not reading `event`.
-        unsafe { *self.event.get() = ev };
-        self.time.store(ev.time, Ordering::Relaxed);
-        let prev = self
-            .state
-            .compare_exchange(EMPTY, POSTED, Ordering::Release, Ordering::Relaxed);
-        assert!(prev.is_ok(), "EventSlot::post on non-empty slot");
+        let prev =
+            self.reply_state
+                .compare_exchange(IDLE, WAITING, Ordering::Relaxed, Ordering::Relaxed);
+        assert!(
+            prev.is_ok(),
+            "EventRing::post while a blocking entry is outstanding"
+        );
+        self.publish(ev, true);
         after_publish();
         loop {
-            if self.state.load(Ordering::Acquire) == REPLIED {
+            if self.reply_state.load(Ordering::Acquire) == REPLIED {
                 break;
             }
             thread::park();
         }
-        // SAFETY: REPLIED observed with Acquire; consumer wrote reply
-        // before its Release store and will not touch it again.
+        // SAFETY: REPLIED observed with Acquire; consumer wrote the reply
+        // before its Release transition and will not touch it again.
         let r = unsafe { *self.reply.get() };
-        self.state.store(EMPTY, Ordering::Release);
+        self.reply_state.store(IDLE, Ordering::Release);
         r
     }
 
-    /// Non-destructively checks for a posted event; returns its timestamp.
+    /// Consumer: non-destructively reads the head entry's timestamp.
     #[inline]
     pub fn peek_time(&self) -> Option<Cycles> {
-        if self.state.load(Ordering::Acquire) == POSTED {
-            Some(self.time.load(Ordering::Relaxed))
-        } else {
-            None
-        }
-    }
-
-    /// True while the consumer holds a taken-but-unreplied event (the
-    /// poster is suspended: blocked OS call, lock wait, or descheduled).
-    #[inline]
-    pub fn is_held(&self) -> bool {
-        self.state.load(Ordering::Acquire) == TAKEN
-    }
-
-    /// Takes the posted event for processing. Returns `None` if no event
-    /// is posted.
-    pub fn take(&self) -> Option<Event> {
-        if self
-            .state
-            .compare_exchange(POSTED, TAKEN, Ordering::Acquire, Ordering::Relaxed)
-            .is_err()
-        {
+        let head = self.head.load(Ordering::Relaxed); // consumer-owned
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
             return None;
         }
-        // SAFETY: we hold the TAKEN state; poster wrote event before
-        // POSTED (Release) and is parked until REPLIED.
-        Some(unsafe { *self.event.get() })
+        // SAFETY: head < tail with Acquire on tail: the producer's slot
+        // write happened-before, and it will not reuse the slot until our
+        // head store in `pop`.
+        Some(unsafe { (*self.slots[(head as usize) % self.cap].ev.get()).time })
     }
 
-    /// Replies to a previously taken event and wakes the poster.
+    /// Consumer: pops the head entry. The `bool` is its `wants_reply` flag;
+    /// a `true` entry's producer is parked in [`EventRing::post`] until
+    /// [`EventRing::reply`] — possibly much later (deferred replies
+    /// implement blocking OS calls, lock waits and descheduling).
+    pub fn pop(&self) -> Option<(Event, bool)> {
+        let head = self.head.load(Ordering::Relaxed); // consumer-owned
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &self.slots[(head as usize) % self.cap];
+        // SAFETY: as in `peek_time`.
+        let ev = unsafe { *slot.ev.get() };
+        let wants = unsafe { *slot.wants_reply.get() };
+        self.head.store(head + 1, Ordering::Release);
+        // Paired with the fence in `publish`; see there.
+        fence(Ordering::SeqCst);
+        Some((ev, wants))
+    }
+
+    /// Consumer: number of unconsumed entries (diagnostic; racy by nature).
+    #[inline]
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.saturating_sub(head) as usize
+    }
+
+    /// True when no entries are pending (diagnostic; racy by nature).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True while a producer is parked awaiting a reply — whether its
+    /// blocking entry is still in the ring or already popped and held.
+    #[inline]
+    pub fn has_blocked_poster(&self) -> bool {
+        self.reply_state.load(Ordering::Acquire) == WAITING
+    }
+
+    /// Consumer: replies to the outstanding blocking entry and unparks its
+    /// producer.
     ///
     /// # Panics
-    /// Panics if no event is held.
+    /// Panics if no blocking entry is outstanding.
     pub fn reply(&self, r: Reply) {
-        // SAFETY: state is TAKEN: the poster is parked and not accessing
-        // `reply`; we are the only consumer.
+        // SAFETY: state is WAITING (asserted by the CAS below): the
+        // producer is parked and not accessing `reply`; we are the only
+        // consumer.
         unsafe { *self.reply.get() = r };
-        let prev =
-            self.state
-                .compare_exchange(TAKEN, REPLIED, Ordering::Release, Ordering::Relaxed);
-        assert!(prev.is_ok(), "EventSlot::reply without a taken event");
+        let prev = self.reply_state.compare_exchange(
+            WAITING,
+            REPLIED,
+            Ordering::Release,
+            Ordering::Relaxed,
+        );
+        assert!(prev.is_ok(), "EventRing::reply without a blocked poster");
         if let Some(t) = self.poster.lock().as_ref() {
             t.unpark();
         }
@@ -181,86 +274,110 @@ mod tests {
     }
 
     #[test]
-    fn post_take_reply_roundtrip() {
-        let slot = Arc::new(EventSlot::new());
-        let s2 = Arc::clone(&slot);
-        let consumer = thread::spawn(move || {
-            // Spin until posted, then take and reply.
-            loop {
-                if let Some(t) = s2.peek_time() {
-                    assert_eq!(t, 42);
-                    let e = s2.take().unwrap();
-                    assert_eq!(e.time, 42);
-                    s2.reply(Reply::latency(7));
-                    break;
-                }
-                std::thread::yield_now();
+    fn post_pop_reply_roundtrip() {
+        let ring = Arc::new(EventRing::new(4));
+        let r2 = Arc::clone(&ring);
+        let consumer = thread::spawn(move || loop {
+            if let Some(t) = r2.peek_time() {
+                assert_eq!(t, 42);
+                let (e, wants) = r2.pop().unwrap();
+                assert_eq!(e.time, 42);
+                assert!(wants);
+                r2.reply(Reply::latency(7));
+                break;
             }
+            std::thread::yield_now();
         });
-        let r = slot.post(ev(42));
+        let r = ring.post(ev(42));
         assert_eq!(r.latency, 7);
         consumer.join().unwrap();
-        assert!(slot.peek_time().is_none());
+        assert!(ring.peek_time().is_none());
     }
 
     #[test]
-    fn take_on_empty_returns_none() {
-        let slot = EventSlot::new();
-        assert!(slot.take().is_none());
-        assert!(slot.peek_time().is_none());
-        assert!(!slot.is_held());
+    fn pop_on_empty_returns_none() {
+        let ring = EventRing::new(2);
+        assert!(ring.pop().is_none());
+        assert!(ring.peek_time().is_none());
+        assert!(ring.is_empty());
+        assert!(!ring.has_blocked_poster());
     }
 
     #[test]
-    fn held_state_visible_during_deferred_reply() {
-        let slot = Arc::new(EventSlot::new());
-        let s2 = Arc::clone(&slot);
-        let poster = thread::spawn(move || s2.post(ev(1)));
-        // Wait for the post.
-        while slot.peek_time().is_none() {
-            std::thread::yield_now();
-        }
-        let _e = slot.take().unwrap();
-        assert!(slot.is_held());
-        assert!(slot.peek_time().is_none(), "taken event must not be re-peeked");
-        // Deferred reply.
-        thread::sleep(std::time::Duration::from_millis(10));
-        slot.reply(Reply::latency(99));
-        assert_eq!(poster.join().unwrap().latency, 99);
-        assert!(!slot.is_held());
-    }
-
-    #[test]
-    fn many_roundtrips_are_lossless() {
-        let slot = Arc::new(EventSlot::new());
-        let s2 = Arc::clone(&slot);
-        const N: u64 = 2_000;
-        let consumer = thread::spawn(move || {
-            let mut expected = 0;
-            while expected < N {
-                if let Some(t) = s2.peek_time() {
-                    assert_eq!(t, expected, "events must arrive in post order");
-                    let e = s2.take().unwrap();
-                    s2.reply(Reply::latency(e.time * 2));
-                    expected += 1;
-                } else {
-                    // Single-core hosts: spinning here starves the poster
-                    // for a whole scheduler timeslice per roundtrip.
-                    thread::yield_now();
+    fn batch_preserves_fifo_order_across_wraparound() {
+        let ring = Arc::new(EventRing::new(4));
+        let r2 = Arc::clone(&ring);
+        // Several batches of 3 non-blocking + 1 blocking entry cycle the
+        // cursors far past the capacity, exercising index wrap-around.
+        let producer = thread::spawn(move || {
+            let mut t = 0;
+            for _ in 0..10 {
+                for _ in 0..3 {
+                    r2.publish(ev(t), false);
+                    t += 1;
                 }
+                let r = r2.post(ev(t));
+                assert_eq!(r.latency, t);
+                t += 1;
             }
         });
-        for i in 0..N {
-            let r = slot.post(ev(i));
-            assert_eq!(r.latency, i * 2);
+        let mut expected = 0u64;
+        while expected < 40 {
+            if let Some((e, wants)) = ring.pop() {
+                assert_eq!(e.time, expected, "FIFO order across wrap-around");
+                assert_eq!(wants, expected % 4 == 3, "every 4th entry blocks");
+                if wants {
+                    ring.reply(Reply::latency(e.time));
+                }
+                expected += 1;
+            } else {
+                thread::yield_now();
+            }
         }
-        consumer.join().unwrap();
+        producer.join().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "reply without a taken event")]
-    fn reply_without_take_panics() {
-        let slot = EventSlot::new();
-        slot.reply(Reply::latency(0));
+    fn publish_reports_empty_to_nonempty_transition() {
+        let ring = EventRing::new(4);
+        assert!(ring.publish(ev(0), false), "first append finds it empty");
+        assert!(!ring.publish(ev(1), false), "second append does not");
+        assert!(ring.pop().is_some());
+        assert!(ring.pop().is_some());
+        assert!(ring.publish(ev(2), false), "drained ring reads empty again");
+    }
+
+    #[test]
+    fn held_reply_can_be_deferred() {
+        let ring = Arc::new(EventRing::new(2));
+        let r2 = Arc::clone(&ring);
+        let poster = thread::spawn(move || r2.post(ev(1)));
+        while ring.peek_time().is_none() {
+            std::thread::yield_now();
+        }
+        let (_e, wants) = ring.pop().unwrap();
+        assert!(wants);
+        assert!(ring.has_blocked_poster(), "poster parked while held");
+        assert!(ring.peek_time().is_none(), "popped entry is not re-peeked");
+        thread::sleep(std::time::Duration::from_millis(10));
+        ring.reply(Reply::latency(99));
+        assert_eq!(poster.join().unwrap().latency, 99);
+        assert!(!ring.has_blocked_poster());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_without_batch_cut_panics() {
+        let ring = EventRing::new(2);
+        ring.publish(ev(0), false);
+        ring.publish(ev(1), false);
+        ring.publish(ev(2), false);
+    }
+
+    #[test]
+    #[should_panic(expected = "reply without a blocked poster")]
+    fn reply_without_poster_panics() {
+        let ring = EventRing::new(2);
+        ring.reply(Reply::latency(0));
     }
 }

@@ -29,8 +29,10 @@ impl SimConfig {
     /// Defaults around an architecture.
     pub fn new(arch: ArchConfig) -> Self {
         let backend = BackendConfig::new(arch);
-        let mut kernel = KernelConfig::default();
-        kernel.ndisks = backend.disks;
+        let kernel = KernelConfig {
+            ndisks: backend.disks,
+            ..KernelConfig::default()
+        };
         Self {
             backend,
             kernel,

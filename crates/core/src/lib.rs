@@ -54,5 +54,5 @@ pub use compass_mem::{PlacementPolicy, VAddr};
 pub use compass_os::{KernelConfig, OsCall, SysVal};
 pub use config::SimConfig;
 pub use raw::{run_raw, RawReport};
-pub use report::{format_table1, format_syscall_table};
+pub use report::{format_syscall_table, format_table1};
 pub use runner::{RunReport, SimBuilder};

@@ -38,7 +38,11 @@ pub fn run_raw(
     let devshared = Arc::new(compass_comm::DevShared::new());
     let kernel = KernelShared::new(kernel_cfg, devshared);
     prepare(&kernel);
-    let mut cpu = CpuCtx::raw(ProcessId(0), Arc::clone(&kernel), TimingModel::powerpc_604());
+    let mut cpu = CpuCtx::raw(
+        ProcessId(0),
+        Arc::clone(&kernel),
+        TimingModel::powerpc_604(),
+    );
     let started = Instant::now();
     cpu.start();
     body.run(&mut cpu);
@@ -80,6 +84,9 @@ mod tests {
             },
         );
         assert!(report.clock > 0);
-        assert!(report.syscalls.iter().any(|(n, c, _)| n == "kreadv" && *c == 1));
+        assert!(report
+            .syscalls
+            .iter()
+            .any(|(n, c, _)| n == "kreadv" && *c == 1));
     }
 }

@@ -33,7 +33,9 @@ pub fn format_syscall_table(report: &RunReport) -> String {
         } else {
             100.0 * *cycles as f64 / total as f64
         };
-        out.push_str(&format!("{name:<12} {count:>7} {cycles:>11}  {share:5.1}%\n"));
+        out.push_str(&format!(
+            "{name:<12} {count:>7} {cycles:>11}  {share:5.1}%\n"
+        ));
     }
     out
 }

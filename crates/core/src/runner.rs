@@ -52,12 +52,14 @@ impl RunReport {
     }
 }
 
+type PrepareFn = Box<dyn FnOnce(&KernelShared) + Send>;
+
 /// Builds and runs one simulation.
 pub struct SimBuilder {
     config: SimConfig,
     processes: Vec<Box<dyn Process>>,
     traffic: Option<Box<dyn TrafficSource>>,
-    prepare: Option<Box<dyn FnOnce(&KernelShared) + Send>>,
+    prepare: Option<PrepareFn>,
 }
 
 impl SimBuilder {
@@ -126,8 +128,17 @@ impl SimBuilder {
         let notifier = Arc::new(Notifier::new());
         let cpu_states = Arc::new(CpuStates::new(ncpus));
         let devshared = Arc::new(DevShared::new());
+        // Rings must hold a full frontend batch (plus the OS thread's
+        // blocking event that may follow it during an OS call).
+        let ring_cap = compass_comm::DEFAULT_RING_CAPACITY.max(config.backend.batch_depth + 1);
         let ports: Vec<Arc<EventPort>> = (0..=nprocs)
-            .map(|pid| Arc::new(EventPort::new(ProcessId(pid as u32), Arc::clone(&notifier))))
+            .map(|pid| {
+                Arc::new(EventPort::with_capacity(
+                    ProcessId(pid as u32),
+                    Arc::clone(&notifier),
+                    ring_cap,
+                ))
+            })
             .collect();
 
         // --- OS server ---
@@ -160,8 +171,7 @@ impl SimBuilder {
             .spawn(move || {
                 // A dead backend leaves every frontend parked forever;
                 // abort loudly instead of hanging the harness.
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| backend.run()))
-                {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| backend.run())) {
                     Ok(outcome) => outcome,
                     Err(e) => {
                         let msg = e
@@ -185,6 +195,7 @@ impl SimBuilder {
             let timing = config.timing.clone();
             let pseudo = config.pseudo_irq;
             let sample_period = config.sample_period;
+            let batch_depth = config.backend.batch_depth;
             proc_handles.push(
                 std::thread::Builder::new()
                     .name(format!("app-process-{pid}"))
@@ -195,6 +206,7 @@ impl SimBuilder {
                         if pseudo {
                             cpu.enable_pseudo_irq();
                         }
+                        cpu.set_batch_depth(batch_depth);
                         cpu.set_sample_period(sample_period);
                         cpu.start();
                         body.run(&mut cpu);

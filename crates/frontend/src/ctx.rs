@@ -1,8 +1,7 @@
 //! `CpuCtx`: the per-process execution context and instrumentation API.
 
 use compass_comm::{
-    CpuStates, CtlOp, Event, EventBody, EventPort, ExecMode, MemRefKind, Reply, ReplyData,
-    SyncOp,
+    CpuStates, CtlOp, Event, EventBody, EventPort, ExecMode, MemRefKind, Reply, ReplyData, SyncOp,
 };
 use compass_isa::{BlockCost, CpuId, Cycles, InstClass, ProcessId, SegId, TimingModel};
 use compass_mem::addr::HEAP_BASE;
@@ -67,6 +66,14 @@ pub struct CpuCtx {
     /// quantifies.
     sample_period: u32,
     sample_count: u32,
+    /// Event-batch depth: memory references are published non-blocking
+    /// until the batch holds `batch_depth - 1` of them; the next event
+    /// rendezvouses and resynchronises the clock. 1 = classic per-event
+    /// rendezvous. The backend's credit accounting makes results
+    /// identical at any depth.
+    batch_depth: usize,
+    /// Non-blocking events published since the last rendezvous.
+    batch_pending: usize,
     last_event_clock: Cycles,
     stats: FrontendStats,
     started: bool,
@@ -126,6 +133,8 @@ impl CpuCtx {
             quantum: 20_000,
             sample_period: 1,
             sample_count: 0,
+            batch_depth: 1,
+            batch_pending: 0,
             last_event_clock: 0,
             stats: FrontendStats::default(),
             started: false,
@@ -135,10 +144,36 @@ impl CpuCtx {
 
     /// Enables forwarding of pseudo interrupt requests (§3.2's user-mode
     /// delivery path) instead of leaving everything to the kernel daemon.
+    /// Pseudo-IRQ delivery checks every reply, so batching is forced off.
     pub fn enable_pseudo_irq(&mut self) {
         if let Mode::Sim { pseudo_irq, .. } = &mut self.mode {
             *pseudo_irq = true;
+            self.batch_depth = 1;
         }
+    }
+
+    /// Sets the event-batch depth: memory references are appended to the
+    /// port ring without a rendezvous until a batch holds `depth` events
+    /// (the last posted blocking), a sync/control/OS operation cuts the
+    /// batch early, or the ring fills. Depth 1 reproduces the classic
+    /// one-rendezvous-per-event protocol exactly; any depth produces the
+    /// same simulation results (see the backend engine docs). Clamped to
+    /// the port's ring capacity, and to 1 under pseudo-IRQ delivery.
+    pub fn set_batch_depth(&mut self, depth: usize) {
+        assert!(depth >= 1, "batch depth must be at least 1");
+        let cap = match &self.mode {
+            Mode::Sim {
+                port, pseudo_irq, ..
+            } => {
+                if *pseudo_irq {
+                    1
+                } else {
+                    port.capacity()
+                }
+            }
+            Mode::Raw { .. } => depth,
+        };
+        self.batch_depth = depth.min(cap);
     }
 
     /// The process clock in cycles.
@@ -174,6 +209,7 @@ impl CpuCtx {
                 pseudo_irq,
             } => {
                 self.stats.events += 1;
+                self.batch_pending = 0;
                 let reply = port.post(Event {
                     pid: self.pid,
                     time: self.clock,
@@ -195,6 +231,31 @@ impl CpuCtx {
             }
             Mode::Raw { .. } => Reply::latency(0),
         }
+    }
+
+    /// The batch-building fast path: publishes a memory reference into the
+    /// port ring without rendezvousing when the current batch still has
+    /// room, falling back to a blocking [`Self::post`] on the batch's final
+    /// event. The published time is the *raw* frontend clock — it lags
+    /// effective simulated time by the latencies of the unreplied events
+    /// ahead of it, which the backend repairs with its per-process credit
+    /// (see the engine docs). `last_event_clock` still advances so the
+    /// compute-quantum Yield triggers at the same points as at depth 1.
+    fn post_mem(&mut self, body: EventBody) {
+        if let Mode::Sim { port, .. } = &self.mode {
+            if self.batch_depth > 1 && self.batch_pending + 1 < self.batch_depth {
+                self.stats.events += 1;
+                port.post_batched(Event {
+                    pid: self.pid,
+                    time: self.clock,
+                    body,
+                });
+                self.batch_pending += 1;
+                self.last_event_clock = self.clock;
+                return;
+            }
+        }
+        self.post(body);
     }
 
     fn is_sim(&self) -> bool {
@@ -288,7 +349,7 @@ impl CpuCtx {
                 return;
             }
         }
-        self.post(EventBody::MemRef {
+        self.post_mem(EventBody::MemRef {
             kind,
             mode: ExecMode::User,
             vaddr: va,
@@ -395,7 +456,9 @@ impl CpuCtx {
     /// Allocates page-aligned simulated memory.
     pub fn malloc_pages(&mut self, size: u32) -> VAddr {
         self.compute(60);
-        self.heap.alloc_pages(size).expect("simulated heap exhausted")
+        self.heap
+            .alloc_pages(size)
+            .expect("simulated heap exhausted")
     }
 
     /// `shmget(key, len)` (§3.3.1).
@@ -519,8 +582,8 @@ impl CpuCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use compass_os::{KernelConfig, KernelShared};
     use compass_comm::DevShared;
+    use compass_os::{KernelConfig, KernelShared};
 
     fn raw_ctx() -> CpuCtx {
         let kernel = KernelShared::new(KernelConfig::default(), Arc::new(DevShared::new()));

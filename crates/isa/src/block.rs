@@ -50,8 +50,9 @@ impl BlockCost {
     pub fn repeat(self, n: u64) -> BlockCost {
         BlockCost {
             cycles: self.cycles.saturating_mul(n),
-            instructions: (self.instructions as u64).saturating_mul(n).min(u32::MAX as u64)
-                as u32,
+            instructions: (self.instructions as u64)
+                .saturating_mul(n)
+                .min(u32::MAX as u64) as u32,
         }
     }
 }

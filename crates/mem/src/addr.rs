@@ -36,16 +36,12 @@ pub const KERNEL_BASE: u32 = 0xC000_0000;
 pub const KERNEL_PPN_BASE: u64 = 1 << 40;
 
 /// A simulated 32-bit virtual address.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct VAddr(pub u32);
 
 /// A simulated physical address. Physical memory spans all NUMA nodes so it
 /// is wider than a single process's 32-bit virtual space.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct PAddr(pub u64);
 
 impl VAddr {

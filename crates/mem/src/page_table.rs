@@ -86,7 +86,10 @@ impl PageTable {
 
     #[inline]
     fn split(vpn: u32) -> (usize, usize) {
-        ((vpn >> L2_BITS) as usize, (vpn & ((1 << L2_BITS) - 1)) as usize)
+        (
+            (vpn >> L2_BITS) as usize,
+            (vpn & ((1 << L2_BITS) - 1)) as usize,
+        )
     }
 
     /// Installs a mapping for the page containing `va`.

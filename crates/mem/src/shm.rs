@@ -102,10 +102,7 @@ impl ShmRegistry {
         if len == 0 {
             return Err(ShmError::BadLength);
         }
-        let len = len
-            .checked_add(PAGE_SIZE - 1)
-            .ok_or(ShmError::BadLength)?
-            & !(PAGE_SIZE - 1);
+        let len = len.checked_add(PAGE_SIZE - 1).ok_or(ShmError::BadLength)? & !(PAGE_SIZE - 1);
         let base = self.next_base;
         let end = base.checked_add(len).ok_or(ShmError::WindowFull)?;
         if end > SHM_END {

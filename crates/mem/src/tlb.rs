@@ -56,9 +56,15 @@ impl Tlb {
     /// associativity. `entries` must be a multiple of `assoc` and the set
     /// count must be a power of two.
     pub fn new(entries: usize, assoc: usize) -> Self {
-        assert!(assoc > 0 && entries.is_multiple_of(assoc), "bad TLB geometry");
+        assert!(
+            assoc > 0 && entries.is_multiple_of(assoc),
+            "bad TLB geometry"
+        );
         let nsets = entries / assoc;
-        assert!(nsets.is_power_of_two(), "TLB set count must be a power of two");
+        assert!(
+            nsets.is_power_of_two(),
+            "TLB set count must be a power of two"
+        );
         Self {
             sets: vec![vec![None; assoc]; nsets],
             assoc,

@@ -2,11 +2,9 @@
 //! hands out overlapping live blocks, page tables agree with a model map,
 //! and placement policies cover nodes as specified.
 
-use compass_mem::addr::{HEAP_BASE, HEAP_END};
-use compass_mem::{
-    HomeMap, PageFlags, PageTable, PlacementPolicy, SimAlloc, Tlb, VAddr,
-};
 use compass_isa::{NodeId, ProcessId};
+use compass_mem::addr::{HEAP_BASE, HEAP_END};
+use compass_mem::{HomeMap, PageFlags, PageTable, PlacementPolicy, SimAlloc, Tlb, VAddr};
 use proptest::prelude::*;
 use std::collections::HashMap;
 

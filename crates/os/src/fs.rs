@@ -244,7 +244,11 @@ mod tests {
     #[test]
     fn synthetic_reads_are_deterministic_and_cheap() {
         let mut fs = FileSystem::new();
-        let no = fs.create("/web/file1", FileData::Synthetic { len: 10_000 }, VAddr(0xC0010000));
+        let no = fs.create(
+            "/web/file1",
+            FileData::Synthetic { len: 10_000 },
+            VAddr(0xC0010000),
+        );
         let a = fs.inode(no).read_at(100, 50);
         let b = fs.inode(no).read_at(100, 50);
         assert_eq!(a, b);
@@ -289,20 +293,44 @@ mod tests {
     #[test]
     fn fd_tables_reuse_lowest_slot() {
         let mut t = FdTables::new();
-        let a = t.install(P, Desc::File { inode: 1, offset: 0 });
-        let b = t.install(P, Desc::File { inode: 2, offset: 0 });
+        let a = t.install(
+            P,
+            Desc::File {
+                inode: 1,
+                offset: 0,
+            },
+        );
+        let b = t.install(
+            P,
+            Desc::File {
+                inode: 2,
+                offset: 0,
+            },
+        );
         assert_eq!((a, b), (Fd(0), Fd(1)));
         t.close(P, a).unwrap();
         let c = t.install(P, Desc::Listener { port: 80 });
         assert_eq!(c, Fd(0), "lowest free fd must be reused");
-        assert_eq!(t.get(P, b).unwrap(), Desc::File { inode: 2, offset: 0 });
+        assert_eq!(
+            t.get(P, b).unwrap(),
+            Desc::File {
+                inode: 2,
+                offset: 0
+            }
+        );
     }
 
     #[test]
     fn fd_errors() {
         let mut t = FdTables::new();
         assert_eq!(t.get(P, Fd(0)), Err(Errno::BadF));
-        let a = t.install(P, Desc::File { inode: 1, offset: 0 });
+        let a = t.install(
+            P,
+            Desc::File {
+                inode: 1,
+                offset: 0,
+            },
+        );
         t.close(P, a).unwrap();
         assert_eq!(t.close(P, a), Err(Errno::BadF));
     }
@@ -310,7 +338,13 @@ mod tests {
     #[test]
     fn drop_process_returns_open_descs() {
         let mut t = FdTables::new();
-        t.install(P, Desc::File { inode: 1, offset: 0 });
+        t.install(
+            P,
+            Desc::File {
+                inode: 1,
+                offset: 0,
+            },
+        );
         t.install(P, Desc::Sock { conn: ConnId(9) });
         let open = t.drop_process(P);
         assert_eq!(open.len(), 2);

@@ -7,7 +7,7 @@
 //! waiting for a *connection request* from a frontend process." (§3.1)
 
 use crate::bufcache::BufCache;
-use crate::fs::{FileData, FileSystem, FdTables};
+use crate::fs::{FdTables, FileData, FileSystem};
 use crate::handlers;
 use crate::kctx::{KernelCtx, PortSink};
 use crate::kmem::KernelHeap;
@@ -15,7 +15,9 @@ use crate::net::NetState;
 use crate::proto::{OsCall, OsMsg, OsRet, SysResult, SysVal};
 use crate::syscalls;
 use crate::waitq::{Chan, WaitQueues};
-use compass_comm::{BlockReason, CtlOp, DevShared, Event, EventBody, EventPort, ExecMode, ReplyData, ReqPort};
+use compass_comm::{
+    BlockReason, CtlOp, DevShared, Event, EventBody, EventPort, ExecMode, ReplyData, ReqPort,
+};
 use compass_isa::{Cycles, DiskId, ProcessId};
 use compass_mem::{VAddr, KERNEL_BASE};
 use parking_lot::Mutex;
@@ -323,11 +325,7 @@ impl OsServer {
     /// Spawns the bottom-half kernel daemon on its own event port.
     /// "Dedicated threads can be scheduled to simulate bottom half kernel
     /// activities." (§3.1)
-    pub fn start_daemon(
-        &self,
-        daemon_pid: ProcessId,
-        port: Arc<EventPort>,
-    ) -> JoinHandle<()> {
+    pub fn start_daemon(&self, daemon_pid: ProcessId, port: Arc<EventPort>) -> JoinHandle<()> {
         let k = Arc::clone(&self.kernel);
         std::thread::Builder::new()
             .name("kernel-bottom-half".into())
@@ -363,13 +361,8 @@ fn os_thread_main(port: Arc<ReqPort<OsMsg, OsRet>>, kernel: Arc<KernelShared>) {
             OsMsg::Call { clock, call } => {
                 let (pid, eport) = paired.as_ref().expect("call before pairing");
                 let sink = PortSink(Arc::clone(eport));
-                let mut kc = KernelCtx::new(
-                    *pid,
-                    &sink,
-                    clock,
-                    ExecMode::Kernel,
-                    kernel.cfg.touch_gran,
-                );
+                let mut kc =
+                    KernelCtx::new(*pid, &sink, clock, ExecMode::Kernel, kernel.cfg.touch_gran);
                 let result = syscalls::dispatch(&mut kc, &kernel, call);
                 port.respond(OsRet::Done {
                     clock: kc.clock,
@@ -438,7 +431,13 @@ mod tests {
 
     #[test]
     fn lock_addresses_are_distinct_kernel_words() {
-        let all = [locks::BUF, locks::NET, locks::FILETAB, locks::KMEM, locks::INTR];
+        let all = [
+            locks::BUF,
+            locks::NET,
+            locks::FILETAB,
+            locks::KMEM,
+            locks::INTR,
+        ];
         let mut seen = std::collections::HashSet::new();
         for a in all {
             assert!(a.is_kernel());
@@ -452,7 +451,10 @@ mod tests {
         let a = fd_table_addr(ProcessId(255), 63);
         assert!(a.is_kernel());
         assert!(a.0 < crate::kmem::KERNEL_HEAP_BASE);
-        assert_ne!(fd_table_addr(ProcessId(0), 0), fd_table_addr(ProcessId(1), 0));
+        assert_ne!(
+            fd_table_addr(ProcessId(0), 0),
+            fd_table_addr(ProcessId(1), 0)
+        );
     }
 
     #[test]

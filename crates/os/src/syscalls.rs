@@ -118,7 +118,13 @@ fn sys_open(kc: &mut KernelCtx<'_>, k: &KernelShared, path: &str, create: bool) 
     };
     let result = match inode {
         Some(no) => {
-            let fd = k.fds.lock().install(kc.pid, Desc::File { inode: no, offset: 0 });
+            let fd = k.fds.lock().install(
+                kc.pid,
+                Desc::File {
+                    inode: no,
+                    offset: 0,
+                },
+            );
             kc.store(fd_table_addr(kc.pid, fd.0), 16);
             Ok(SysVal::NewFd(fd))
         }
@@ -374,11 +380,7 @@ fn sys_read(
                 .read_at(off, (BUF_SIZE - inoff).min(len - out.len() as u32))
         };
         if !chunk.is_empty() {
-            kc.copy(
-                daddr + inoff,
-                ubuf + out.len() as u32,
-                chunk.len() as u32,
-            );
+            kc.copy(daddr + inoff, ubuf + out.len() as u32, chunk.len() as u32);
         }
         kc.unlock(locks::BUF);
         if chunk.is_empty() {
@@ -433,7 +435,9 @@ fn sys_write(
             kc.store(b.hdr_addr, 32);
         }
         kc.copy(ubuf + pos as u32, daddr + inoff, n as u32);
-        k.fs.lock().inode_mut(inode).write_at(off, &data[pos..pos + n]);
+        k.fs.lock()
+            .inode_mut(inode)
+            .write_at(off, &data[pos..pos + n]);
         kc.unlock(locks::BUF);
         pos += n;
     }

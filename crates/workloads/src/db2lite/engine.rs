@@ -212,9 +212,13 @@ impl Db2Session {
     pub fn get_page(&self, cpu: &mut CpuCtx, table: TableId, page: u64) -> PageRef {
         let fds = &self.fds;
         let fd = fds[&table];
-        self.shared
-            .pool
-            .get_page(cpu, self.base, table, page, fd, |cpu, vt, vp, addr, bytes| {
+        self.shared.pool.get_page(
+            cpu,
+            self.base,
+            table,
+            page,
+            fd,
+            |cpu, vt, vp, addr, bytes| {
                 // Dirty-victim write-behind to the victim's own file; the
                 // kernel's copy loads from the pool frame itself.
                 let vfd = fds[&vt];
@@ -227,7 +231,8 @@ impl Db2Session {
                     Ok(_) => {}
                     other => panic!("victim writeback: {other:?}"),
                 }
-            })
+            },
+        )
     }
 
     /// Unpins a page.
@@ -238,7 +243,11 @@ impl Db2Session {
     /// Reads one row by index.
     pub fn read_row(&self, cpu: &mut CpuCtx, table: TableId, idx: u64) -> Row {
         let meta = self.shared.table(table);
-        assert!(idx < meta.nrows, "row {idx} beyond {table:?} ({})", meta.nrows);
+        assert!(
+            idx < meta.nrows,
+            "row {idx} beyond {table:?} ({})",
+            meta.nrows
+        );
         let (page, off) = meta.locate(idx);
         let p = self.get_page(cpu, table, page);
         cpu.load(p.addr + off, meta.schema.row_len().min(64) as u16);

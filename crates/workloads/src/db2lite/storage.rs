@@ -216,11 +216,7 @@ mod tests {
     #[test]
     fn row_roundtrip() {
         let s = schema();
-        let row = vec![
-            Value::U32(7),
-            Value::U64(1 << 40),
-            Value::Str("abc".into()),
-        ];
+        let row = vec![Value::U32(7), Value::U64(1 << 40), Value::Str("abc".into())];
         let bytes = s.encode(&row);
         assert_eq!(bytes.len() as u32, s.row_len());
         assert_eq!(s.decode(&bytes), row);
@@ -229,11 +225,7 @@ mod tests {
     #[test]
     fn decode_col_matches_full_decode() {
         let s = schema();
-        let row = vec![
-            Value::U32(42),
-            Value::U64(99),
-            Value::Str("xy".into()),
-        ];
+        let row = vec![Value::U32(42), Value::U64(99), Value::Str("xy".into())];
         let bytes = s.encode(&row);
         assert_eq!(s.decode_col(&bytes, 0), Value::U32(42));
         assert_eq!(s.decode_col(&bytes, 1), Value::U64(99));

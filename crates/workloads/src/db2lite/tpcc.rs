@@ -7,6 +7,8 @@
 //! the log at commit — producing the kreadv/kwritev + disk-interrupt
 //! kernel profile the paper reports for TPCC/DB2 (Table 1).
 
+// Money amounts are cents grouped as dollars_00 (e.g. 500_00 = $500.00).
+#![allow(clippy::inconsistent_digit_grouping)]
 use super::engine::{Db2Session, Db2Shared};
 use super::index::{attach_index_segment, Index};
 use super::storage::{ColType, Row, Schema, TableId, Value};
@@ -203,9 +205,7 @@ fn new_order(
     let d_id = rng.gen_range(0..cfg.districts);
     let c_id = rng.gen_range(0..cfg.customers);
     let n_items = rng.gen_range(3..=8usize);
-    let mut item_ids: Vec<u32> = (0..n_items)
-        .map(|_| rng.gen_range(0..cfg.items))
-        .collect();
+    let mut item_ids: Vec<u32> = (0..n_items).map(|_| rng.gen_range(0..cfg.items)).collect();
     // Canonical lock order prevents lock-manager deadlocks (real systems
     // detect-and-abort; ordering is the classical alternative).
     item_ids.sort_unstable();
@@ -241,7 +241,11 @@ fn new_order(
         let mut stock = session.read_row(cpu, t.stock, i_id as u64);
         let qty = rng.gen_range(1..10) as u64;
         let have = stock[1].as_u64();
-        stock[1] = Value::U64(if have > qty + 10 { have - qty } else { have + 91 - qty });
+        stock[1] = Value::U64(if have > qty + 10 {
+            have - qty
+        } else {
+            have + 91 - qty
+        });
         stock[2] = Value::U64(stock[2].as_u64() + qty);
         session.write_row(cpu, t.stock, i_id as u64, &stock);
         txn.log(cpu, session, 48);
@@ -356,12 +360,28 @@ pub fn terminal(
         for _ in 0..cfg.txns_per_terminal {
             // Terminal think time.
             cpu.compute(2_000);
-            if rng.gen_range(0..100) < cfg.new_order_pct {
-                new_order(cpu, &session, &tables, &cfg, &mut rng, &mut stats,
-                          &cust_index, idx_base);
+            if rng.gen_range(0..100u32) < cfg.new_order_pct {
+                new_order(
+                    cpu,
+                    &session,
+                    &tables,
+                    &cfg,
+                    &mut rng,
+                    &mut stats,
+                    &cust_index,
+                    idx_base,
+                );
             } else {
-                payment(cpu, &session, &tables, &cfg, &mut rng, &mut stats,
-                        &cust_index, idx_base);
+                payment(
+                    cpu,
+                    &session,
+                    &tables,
+                    &cfg,
+                    &mut rng,
+                    &mut stats,
+                    &cust_index,
+                    idx_base,
+                );
             }
         }
         sink.lock()[rank as usize] = stats;
@@ -375,7 +395,10 @@ mod tests {
     use compass::{ArchConfig, SimBuilder};
     use parking_lot::Mutex;
 
-    fn run_mix(nterminals: u64, cfg: TpccConfig) -> (Vec<TerminalStats>, compass::runner::RunReport) {
+    fn run_mix(
+        nterminals: u64,
+        cfg: TpccConfig,
+    ) -> (Vec<TerminalStats>, compass::runner::RunReport) {
         let shared = Db2Shared::new(Db2Config {
             pool_pages: 32,
             shm_key: 0xDB2,

@@ -7,6 +7,8 @@
 //! (DB2's parallel table scan), merge partials under a lock, and meet at a
 //! barrier.
 
+// Money amounts are cents grouped as dollars_00 (e.g. 500_00 = $500.00).
+#![allow(clippy::inconsistent_digit_grouping)]
 use super::engine::{Db2Session, Db2Shared, SimHashTable};
 use super::storage::{ColType, Schema, TableId, Value};
 use compass_frontend::CpuCtx;

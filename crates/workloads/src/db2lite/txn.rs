@@ -56,10 +56,8 @@ impl Txn {
     /// Commits: append the commit record and force the log.
     pub fn commit(mut self, cpu: &mut CpuCtx, session: &Db2Session) -> u32 {
         self.log(cpu, session, 64);
-        cpu.os_call(OsCall::Fsync {
-            fd: session.log_fd,
-        })
-        .expect("log force");
+        cpu.os_call(OsCall::Fsync { fd: session.log_fd })
+            .expect("log force");
         self.records
     }
 }

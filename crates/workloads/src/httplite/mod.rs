@@ -49,7 +49,9 @@ mod tests {
         // Every response body (plus headers) went out on the wire.
         assert!(r.net.tx_bytes >= expected_bytes);
         // The syscall mix the paper reports for SPECWeb.
-        for name in ["naccept", "recv", "send", "statx", "kreadv", "open", "close"] {
+        for name in [
+            "naccept", "recv", "send", "statx", "kreadv", "open", "close",
+        ] {
             assert!(
                 r.syscalls.iter().any(|(n, _, _)| n == name),
                 "missing syscall {name} in {:?}",

@@ -4,8 +4,8 @@
 //! from the parent in Apache; joined by port here). Each worker loops:
 //! take a request ticket, `naccept`, `recv` the GET line, `statx` + `open`
 //! + `kreadv` the file through the buffer cache, `send` header and body,
-//! `close`. The syscall mix is exactly the set the paper's SPECWeb profile
-//! names.
+//!   `close`. The syscall mix is exactly the set the paper's SPECWeb
+//!   profile names.
 
 use compass_frontend::CpuCtx;
 use compass_mem::VAddr;

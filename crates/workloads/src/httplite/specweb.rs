@@ -170,7 +170,11 @@ mod tests {
         let t = generate_trace(cfg, 500, 7);
         for e in &t.entries {
             let st = k.fs.lock().stat(&e.path).unwrap();
-            assert_eq!(st.len, e.size as u64, "trace size matches file {:?}", e.path);
+            assert_eq!(
+                st.len, e.size as u64,
+                "trace size matches file {:?}",
+                e.path
+            );
         }
     }
 }

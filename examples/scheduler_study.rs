@@ -4,7 +4,7 @@
 //! Run: `cargo run --release --example scheduler_study`
 
 use compass::{ArchConfig, SchedPolicy, SimBuilder};
-use compass_workloads::db2lite::tpcc::{self, TpccConfig, TerminalStats};
+use compass_workloads::db2lite::tpcc::{self, TerminalStats, TpccConfig};
 use compass_workloads::db2lite::{Db2Config, Db2Shared};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -23,7 +23,10 @@ fn run(sched: SchedPolicy) -> compass::runner::RunReport {
         pool_pages: 32,
         shm_key: 0xDB2,
     });
-    let sink = Arc::new(Mutex::new(vec![TerminalStats::default(); TERMINALS as usize]));
+    let sink = Arc::new(Mutex::new(vec![
+        TerminalStats::default();
+        TERMINALS as usize
+    ]));
     let shared_for_load = Arc::clone(&shared);
     let cust_index = Arc::new(Mutex::new(None));
     let idx_slot = Arc::clone(&cust_index);
@@ -47,7 +50,10 @@ fn run(sched: SchedPolicy) -> compass::runner::RunReport {
 
 fn main() {
     println!("5 TPC-C terminals on 2 CPUs (ready queue in play):\n");
-    for (name, sched) in [("FCFS", SchedPolicy::Fcfs), ("affinity", SchedPolicy::Affinity)] {
+    for (name, sched) in [
+        ("FCFS", SchedPolicy::Fcfs),
+        ("affinity", SchedPolicy::Affinity),
+    ] {
         let r = run(sched);
         let s = r.backend.sched;
         println!(

@@ -42,7 +42,10 @@ fn main() {
     b.config_mut().backend.sched = SchedPolicy::Affinity;
     let report = b.run();
 
-    println!("Q1-style aggregate over {} lineitem rows:\n", data.lineitems);
+    println!(
+        "Q1-style aggregate over {} lineitem rows:\n",
+        data.lineitems
+    );
     let mut groups: Vec<_> = results.q1.lock().clone().into_iter().collect();
     groups.sort();
     println!("flag status      sum(qty)     sum(price)      count");

@@ -78,7 +78,7 @@ fn chaos_process(seed: u64, nprocs: u16) -> impl FnMut(&mut CpuCtx) + Send {
     }
 }
 
-fn run_chaos(mode: EngineMode, nprocs: u16) -> BackendStats {
+fn run_chaos_at_depth(mode: EngineMode, nprocs: u16, batch_depth: usize) -> BackendStats {
     let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2)).prepare_kernel(|k| {
         k.create_file("/chaos", FileData::Synthetic { len: 96 * 1024 });
     });
@@ -88,7 +88,12 @@ fn run_chaos(mode: EngineMode, nprocs: u16) -> BackendStats {
     b.config_mut().backend.mode = mode;
     b.config_mut().backend.timer_interval = Some(500_000);
     b.config_mut().backend.deadlock_ms = 10_000;
+    b.config_mut().backend.batch_depth = batch_depth;
     b.run().backend
+}
+
+fn run_chaos(mode: EngineMode, nprocs: u16) -> BackendStats {
+    run_chaos_at_depth(mode, nprocs, 8)
 }
 
 fn assert_same(a: &BackendStats, b: &BackendStats) {
@@ -116,6 +121,30 @@ fn engine_modes_produce_identical_simulations() {
     let serial = run_chaos(EngineMode::Serialized, 3);
     let pipe = run_chaos(EngineMode::Pipelined, 3);
     assert_same(&serial, &pipe);
+}
+
+#[test]
+fn batch_depth_does_not_change_the_simulation() {
+    // The batched communicator is a host-performance knob only: the
+    // backend's credit accounting must make depths 1 (classic per-event
+    // rendezvous), 4 and 16 byte-identical — same event stream, same
+    // global order, same attribution — not merely statistically close.
+    let d1 = run_chaos_at_depth(EngineMode::Pipelined, 3, 1);
+    let d4 = run_chaos_at_depth(EngineMode::Pipelined, 3, 4);
+    let d16 = run_chaos_at_depth(EngineMode::Pipelined, 3, 16);
+    let bytes = |s: &BackendStats| format!("{s:#?}").into_bytes();
+    assert_same(&d1, &d4);
+    assert_same(&d1, &d16);
+    assert_eq!(
+        bytes(&d1),
+        bytes(&d4),
+        "depth 4 stats not byte-identical to depth 1"
+    );
+    assert_eq!(
+        bytes(&d1),
+        bytes(&d16),
+        "depth 16 stats not byte-identical to depth 1"
+    );
 }
 
 #[test]

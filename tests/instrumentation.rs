@@ -75,15 +75,18 @@ fn signal_wrapper_suppresses_events_in_full_sim() {
 #[test]
 fn coarse_sampling_reduces_events_but_not_functionality() {
     fn run(period: u32) -> (u64, u64) {
-        let mut b = SimBuilder::new(ArchConfig::simple_smp(1)).add_process(
-            move |cpu: &mut CpuCtx| {
-                let a = cpu.malloc_pages(64 * 1024);
+        let mut b =
+            SimBuilder::new(ArchConfig::simple_smp(1)).add_process(move |cpu: &mut CpuCtx| {
+                // A genuinely cache-friendly loop: a 4 KiB working set
+                // stays resident in L1 after the first pass, so skipped
+                // references really are the L1 hits the sampling path
+                // assumes them to be.
+                let a = cpu.malloc_pages(4 * 1024);
                 for i in 0..2_000u32 {
-                    cpu.load(a + (i * 32) % (64 * 1024), 8);
-                    cpu.compute(5);
+                    cpu.load(a + (i * 32) % (4 * 1024), 8);
+                    cpu.compute(20);
                 }
-            },
-        );
+            });
         b.config_mut().sample_period = period;
         b.config_mut().backend.deadlock_ms = 3_000;
         let r = b.run();

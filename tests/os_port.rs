@@ -108,7 +108,10 @@ fn accept_recv_send_roundtrip() {
     let r = b.run();
     assert_eq!(r.net.conns, 1);
     assert_eq!(r.net.tx_bytes, 10_240);
-    assert!(r.backend.irq_dispatches[1] >= 3, "SYN, data, FIN interrupts");
+    assert!(
+        r.backend.irq_dispatches[1] >= 3,
+        "SYN, data, FIN interrupts"
+    );
     // Accept and recv blocked while waiting for the client.
     assert!(r.backend.procs[0].block_wait > 0);
     // TCP output segmented the 10 KB response (mss 1460 -> 8 segments).
@@ -160,10 +163,7 @@ fn select_wakes_on_connection_and_data() {
 fn kernel_time_is_attributed_to_kernel_mode() {
     let mut b = SimBuilder::new(ArchConfig::simple_smp(1))
         .prepare_kernel(|k| {
-            k.create_file(
-                "/f",
-                compass_os::fs::FileData::Synthetic { len: 32 * 1024 },
-            );
+            k.create_file("/f", compass_os::fs::FileData::Synthetic { len: 32 * 1024 });
         })
         .add_process(|cpu: &mut CpuCtx| {
             let buf = cpu.malloc_pages(4096);
@@ -189,7 +189,10 @@ fn kernel_time_is_attributed_to_kernel_mode() {
     let user: u64 = r.backend.procs.iter().map(|p| p.by_mode[0]).sum();
     let kernel: u64 = r.backend.procs.iter().map(|p| p.by_mode[1]).sum();
     let interrupt: u64 = r.backend.procs.iter().map(|p| p.by_mode[2]).sum();
-    assert!(kernel > user, "an I/O-bound loop spends most time in the OS");
+    assert!(
+        kernel > user,
+        "an I/O-bound loop spends most time in the OS"
+    );
     assert!(interrupt > 0, "disk completions ran interrupt handlers");
     // The per-syscall accounting agrees that kreadv dominates.
     assert_eq!(r.syscalls[0].0, "kreadv");
@@ -207,10 +210,7 @@ fn pseudo_interrupt_path_stays_deterministic() {
     fn run_once() -> (u64, Vec<(String, u64, u64)>) {
         let mut b = SimBuilder::new(ArchConfig::simple_smp(1))
             .prepare_kernel(|k| {
-                k.create_file(
-                    "/f",
-                    compass_os::fs::FileData::Synthetic { len: 16 * 1024 },
-                );
+                k.create_file("/f", compass_os::fs::FileData::Synthetic { len: 16 * 1024 });
             })
             .add_process(|cpu: &mut CpuCtx| {
                 let buf = cpu.malloc_pages(4096);

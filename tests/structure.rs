@@ -160,29 +160,28 @@ fn file_reads_go_through_buffer_cache_and_disk() {
 
 #[test]
 fn file_writes_and_fsync_hit_the_disk() {
-    let mut b = SimBuilder::new(ArchConfig::simple_smp(1))
-        .add_process(|cpu: &mut CpuCtx| {
-            let buf = cpu.malloc_pages(4096);
-            let fd = match cpu.os_call(OsCall::Open {
-                path: "/log".into(),
-                create: true,
-            }) {
-                Ok(SysVal::NewFd(fd)) => fd,
-                other => panic!("{other:?}"),
-            };
-            for i in 0..4u8 {
-                let data = vec![i; 4096];
-                let _ = cpu.os_call(OsCall::Write { fd, data, buf }).unwrap();
-            }
-            cpu.os_call(OsCall::Fsync { fd }).unwrap();
-            // Read back and verify content survived the cache.
-            let _ = cpu.os_call(OsCall::Seek { fd, off: 4096 });
-            match cpu.os_call(OsCall::Read { fd, len: 16, buf }) {
-                Ok(SysVal::Data(d)) => assert_eq!(d, vec![1u8; 16]),
-                other => panic!("{other:?}"),
-            }
-            let _ = cpu.os_call(OsCall::Close { fd });
-        });
+    let mut b = SimBuilder::new(ArchConfig::simple_smp(1)).add_process(|cpu: &mut CpuCtx| {
+        let buf = cpu.malloc_pages(4096);
+        let fd = match cpu.os_call(OsCall::Open {
+            path: "/log".into(),
+            create: true,
+        }) {
+            Ok(SysVal::NewFd(fd)) => fd,
+            other => panic!("{other:?}"),
+        };
+        for i in 0..4u8 {
+            let data = vec![i; 4096];
+            let _ = cpu.os_call(OsCall::Write { fd, data, buf }).unwrap();
+        }
+        cpu.os_call(OsCall::Fsync { fd }).unwrap();
+        // Read back and verify content survived the cache.
+        let _ = cpu.os_call(OsCall::Seek { fd, off: 4096 });
+        match cpu.os_call(OsCall::Read { fd, len: 16, buf }) {
+            Ok(SysVal::Data(d)) => assert_eq!(d, vec![1u8; 16]),
+            other => panic!("{other:?}"),
+        }
+        let _ = cpu.os_call(OsCall::Close { fd });
+    });
     small_deadlock_ms(&mut b);
     let r = b.run();
     // fsync pushed 4 dirty buffers to disk.
@@ -192,9 +191,6 @@ fn file_writes_and_fsync_hit_the_disk() {
         .iter()
         .fold((0, 0), |(o, bl), &(a, b)| (o + a, bl + b));
     assert!(blocks >= 4 * 8, "4 pages of 8 disk blocks written");
-    assert!(r
-        .syscalls
-        .iter()
-        .any(|(n, c, _)| n == "kwritev" && *c == 4));
+    assert!(r.syscalls.iter().any(|(n, c, _)| n == "kwritev" && *c == 4));
     assert!(r.syscalls.iter().any(|(n, _, _)| n == "fsync"));
 }

@@ -37,12 +37,16 @@ fn open_of_missing_file_fails_cleanly() {
             Err(Errno::NoEnt)
         );
         assert_eq!(
-            cpu.os_call(OsCall::Stat { path: "/nope".into() }),
+            cpu.os_call(OsCall::Stat {
+                path: "/nope".into()
+            }),
             Err(Errno::NoEnt)
         );
         // But create succeeds and stat then sees it.
         let _fd = open(cpu, "/nope", true);
-        match cpu.os_call(OsCall::Stat { path: "/nope".into() }) {
+        match cpu.os_call(OsCall::Stat {
+            path: "/nope".into(),
+        }) {
             Ok(SysVal::Stat(st)) => assert_eq!(st.len, 0),
             other => panic!("{other:?}"),
         }
@@ -55,7 +59,11 @@ fn bad_fd_errors_everywhere() {
         let buf = cpu.malloc(64);
         let bad = Fd(42);
         assert_eq!(
-            cpu.os_call(OsCall::Read { fd: bad, len: 8, buf }),
+            cpu.os_call(OsCall::Read {
+                fd: bad,
+                len: 8,
+                buf
+            }),
             Err(Errno::BadF)
         );
         assert_eq!(cpu.os_call(OsCall::Close { fd: bad }), Err(Errno::BadF));
@@ -115,7 +123,12 @@ fn writes_cross_block_boundaries_correctly() {
             other => panic!("{other:?}"),
         }
         // The zero-fill hole before offset 100 reads as zeroes.
-        match cpu.os_call(OsCall::ReadAt { fd, off: 0, len: 100, buf }) {
+        match cpu.os_call(OsCall::ReadAt {
+            fd,
+            off: 0,
+            len: 100,
+            buf,
+        }) {
             Ok(SysVal::Data(d)) => assert_eq!(d, vec![0u8; 100]),
             other => panic!("{other:?}"),
         }
@@ -127,10 +140,15 @@ fn unlink_keeps_open_descriptors_alive() {
     sim(|cpu: &mut CpuCtx| {
         let buf = cpu.malloc(64);
         let fd = open(cpu, "/small", false);
-        cpu.os_call(OsCall::Unlink { path: "/small".into() }).unwrap();
+        cpu.os_call(OsCall::Unlink {
+            path: "/small".into(),
+        })
+        .unwrap();
         // Path is gone…
         assert_eq!(
-            cpu.os_call(OsCall::Stat { path: "/small".into() }),
+            cpu.os_call(OsCall::Stat {
+                path: "/small".into()
+            }),
             Err(Errno::NoEnt)
         );
         // …but the open descriptor still reads (UNIX semantics).
@@ -221,15 +239,29 @@ fn file_ops_on_sockets_and_vice_versa_fail() {
         };
         let buf = cpu.malloc(64);
         assert_eq!(
-            cpu.os_call(OsCall::Read { fd: lfd, len: 8, buf }),
+            cpu.os_call(OsCall::Read {
+                fd: lfd,
+                len: 8,
+                buf
+            }),
             Err(Errno::NotSock)
         );
-        assert_eq!(cpu.os_call(OsCall::Seek { fd: lfd, off: 0 }), Err(Errno::NotSock));
+        assert_eq!(
+            cpu.os_call(OsCall::Seek { fd: lfd, off: 0 }),
+            Err(Errno::NotSock)
+        );
         let ffd = open(cpu, "/small", false);
         assert_eq!(
-            cpu.os_call(OsCall::Recv { fd: ffd, len: 8, buf }),
+            cpu.os_call(OsCall::Recv {
+                fd: ffd,
+                len: 8,
+                buf
+            }),
             Err(Errno::NotSock)
         );
-        assert_eq!(cpu.os_call(OsCall::Accept { lfd: ffd }), Err(Errno::NotSock));
+        assert_eq!(
+            cpu.os_call(OsCall::Accept { lfd: ffd }),
+            Err(Errno::NotSock)
+        );
     });
 }

@@ -1,0 +1,230 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness with the `Criterion` / `BenchmarkGroup` / `Bencher` API this
+//! workspace's benches use. No statistics engine — each benchmark is
+//! timed over `sample_size` batches and the median per-iteration time is
+//! printed, which is enough to compare configurations and to fill the
+//! BENCH_*.json trend files. See `vendor/README.md`.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs closures under measurement.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, called repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: aim for samples of >= ~1 ms each.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1) as u64;
+        self.iters_per_sample = per_sample;
+        let nsamples = self.samples.capacity().max(1);
+        for _ in 0..nsamples {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median_ns_per_iter(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.sort();
+        let mid = self.samples[self.samples.len() / 2];
+        mid.as_nanos() as f64 / self.iters_per_sample.max(1) as f64
+    }
+}
+
+/// Per-iteration work, for reporting element/byte rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API parity; the
+    /// stub's sample calibration ignores it).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares the work one iteration performs; subsequent benchmarks
+    /// also report a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion
+            .run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters benchmarks, as in real
+        // criterion; flag-style args are ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion {
+            filter,
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_samples;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let samples = self.default_samples;
+        self.run_one(id.as_ref(), samples, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        samples: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filt) = &self.filter {
+            if !id.contains(filt.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::with_capacity(samples.max(1)),
+        };
+        f(&mut b);
+        let ns = b.median_ns_per_iter();
+        match throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                let rate = n as f64 * 1e9 / ns;
+                println!("{id:<60} {ns:>14.1} ns/iter {rate:>14.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                let rate = n as f64 * 1e9 / ns;
+                println!("{id:<60} {ns:>14.1} ns/iter {rate:>14.0} B/s");
+            }
+            _ => println!("{id:<60} {ns:>14.1} ns/iter"),
+        }
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            filter: None,
+            default_samples: 3,
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion {
+            filter: None,
+            default_samples: 2,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .bench_function("one", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,66 @@
+//! Offline stand-in for `crossbeam-utils`: only [`CachePadded`], which is
+//! all this workspace uses. See `vendor/README.md`.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line, preventing
+/// false sharing between adjacent atomics. 128 bytes covers the spatial
+/// prefetcher pairing on modern x86 and the line size on apple-silicon.
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_is_aligned() {
+        assert!(std::mem::align_of::<CachePadded<u32>>() >= 128);
+        let p = CachePadded::new(7u32);
+        assert_eq!(*p, 7);
+        assert_eq!(p.into_inner(), 7);
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`: the `Serialize`/`Deserialize` trait names
+//! plus the no-op derive re-exports. The workspace derives the traits on
+//! config/stats types for forward compatibility but never serializes, so
+//! marker traits suffice. See `vendor/README.md`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// `serde::de` namespace stub.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` namespace stub.
+pub mod ser {
+    pub use crate::Serialize;
+}

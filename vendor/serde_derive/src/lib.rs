@@ -1,0 +1,19 @@
+//! Offline no-op stand-in for `serde_derive`. The workspace only *derives*
+//! `Serialize`/`Deserialize` (no code serializes anything yet — there is
+//! no serde_json and no explicit trait bounds), so the derives expand to
+//! nothing. When a real serializer lands, replace this vendor stub with
+//! the genuine crates. See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
