@@ -6,5 +6,7 @@ cd "$(dirname "$0")"
 
 cargo build --release --workspace
 cargo test -q --workspace
+cargo test -q --workspace --features check-invariants
+cargo run --release -q -p compass-simcheck -- --soak 30
 cargo clippy --all-targets --workspace -- -D warnings
 cargo fmt --all --check

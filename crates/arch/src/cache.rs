@@ -207,6 +207,14 @@ impl Cache {
     pub fn resident(&self) -> usize {
         self.sets.iter().map(|s| s.iter().flatten().count()).sum()
     }
+
+    /// Iterates over all resident lines as `(line index, state)` pairs,
+    /// without touching LRU or counters (invariant checks, diagnostics).
+    pub fn lines(&self) -> impl Iterator<Item = (u64, LineState)> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().flatten().map(|l| (l.idx, l.state)))
+    }
 }
 
 #[cfg(test)]

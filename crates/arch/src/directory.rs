@@ -205,6 +205,12 @@ impl Directory {
         self.stats
     }
 
+    /// Iterates over all known entries as `(line, entry)` pairs (invariant
+    /// checks; lines that returned to [`DirEntry::Uncached`] are included).
+    pub fn entries(&self) -> impl Iterator<Item = (u64, DirEntry)> + '_ {
+        self.entries.iter().map(|(&l, &e)| (l, e))
+    }
+
     /// Invariant check used by property tests: each entry's mask is
     /// non-empty, owned entries name a valid CPU.
     pub fn check_invariants(&self, ncpus: u16) -> Result<(), String> {

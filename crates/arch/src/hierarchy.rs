@@ -499,10 +499,124 @@ impl Hierarchy {
         self.node_bus[node].utilisation(elapsed)
     }
 
-    /// Checks cross-structure protocol invariants (used by property tests):
-    /// directory sanity plus "a Modified line has exactly one L2 owner".
+    /// The cache coherence operates on for a CPU: L2 when present, else L1.
+    fn coherence_cache(&self, cpu: usize) -> &Cache {
+        if self.l2.is_empty() {
+            &self.l1[cpu]
+        } else {
+            &self.l2[cpu]
+        }
+    }
+
+    /// Checks cross-structure protocol invariants (the `check-invariants`
+    /// feature calls this after every engine step; property tests call it
+    /// directly):
+    ///
+    /// * directory sanity (non-empty sharer masks, CPUs in range);
+    /// * **inclusion** — every resident L1 subline's coherence line is
+    ///   resident in L2 (when an L2 exists) and no more privileged than
+    ///   its L2 line;
+    /// * **MESI exclusivity** — a line resident E/M in a coherence cache
+    ///   is directory-Owned by exactly that CPU; a Shared resident is in
+    ///   the directory's sharer mask; Owned/Shared directory entries have
+    ///   their owner/sharers actually resident. The COMA attraction memory
+    ///   is exempt: its evictions are silent, so the directory tracks only
+    ///   the per-CPU caches exactly.
     pub fn check_invariants(&self) -> Result<(), String> {
-        self.dir.check_invariants(self.cfg.ncpus() as u16)
+        let ncpus = self.cfg.ncpus();
+        self.dir.check_invariants(ncpus as u16)?;
+
+        // Inclusion: L1 ⊆ L2, never more privileged.
+        if !self.l2.is_empty() {
+            let sublines = (self.coh_line_size() / self.cfg.l1.line) as u64;
+            for cpu in 0..ncpus {
+                for (idx, st) in self.l1[cpu].lines() {
+                    let coh = idx / sublines;
+                    let Some(l2st) = self.l2[cpu].peek(coh) else {
+                        return Err(format!(
+                            "cpu {cpu}: L1 subline {idx:#x} resident but its \
+                             coherence line {coh:#x} is absent from L2 (inclusion)"
+                        ));
+                    };
+                    if st.writable() && !l2st.writable() {
+                        return Err(format!(
+                            "cpu {cpu}: L1 subline {idx:#x} is {st:?} but its \
+                             L2 line {coh:#x} is only {l2st:?}"
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Exclusivity, cache side: every coherence-cache resident agrees
+        // with the directory.
+        for cpu in 0..ncpus {
+            for (line, st) in self.coherence_cache(cpu).lines() {
+                match self.dir.entry(line) {
+                    crate::directory::DirEntry::Uncached => {
+                        return Err(format!(
+                            "cpu {cpu}: line {line:#x} resident {st:?} but \
+                             directory says Uncached"
+                        ));
+                    }
+                    crate::directory::DirEntry::Shared(mask) => {
+                        if st != LineState::Shared {
+                            return Err(format!(
+                                "cpu {cpu}: line {line:#x} is {st:?} but the \
+                                 directory has it Shared({mask:#b})"
+                            ));
+                        }
+                        if mask & (1 << cpu) == 0 {
+                            return Err(format!(
+                                "cpu {cpu}: line {line:#x} resident Shared but \
+                                 absent from sharer mask {mask:#b}"
+                            ));
+                        }
+                    }
+                    crate::directory::DirEntry::Owned(owner) => {
+                        if owner as usize != cpu {
+                            return Err(format!(
+                                "cpu {cpu}: line {line:#x} resident {st:?} but \
+                                 directory-owned by cpu {owner}"
+                            ));
+                        }
+                        if st == LineState::Shared {
+                            return Err(format!(
+                                "cpu {cpu}: line {line:#x} directory-owned but \
+                                 only Shared in the cache"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Exclusivity, directory side: owners and sharers are resident.
+        for (line, entry) in self.dir.entries() {
+            match entry {
+                crate::directory::DirEntry::Uncached => {}
+                crate::directory::DirEntry::Shared(mask) => {
+                    for cpu in 0..ncpus {
+                        if mask & (1 << cpu) != 0 && self.coherence_cache(cpu).peek(line).is_none()
+                        {
+                            return Err(format!(
+                                "line {line:#x}: directory sharer cpu {cpu} \
+                                 does not hold the line"
+                            ));
+                        }
+                    }
+                }
+                crate::directory::DirEntry::Owned(owner) => {
+                    if self.coherence_cache(owner as usize).peek(line).is_none() {
+                        return Err(format!(
+                            "line {line:#x}: directory owner cpu {owner} does \
+                             not hold the line"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,243 @@
+//! Property tests for cache replacement: the set-associative LRU must
+//! agree with an executable reference model on every hit, miss and victim
+//! under random access strings, and dirty victims must reach
+//! `Directory::evict` with `dirty = true` so the full-map directory stays
+//! exact (the protocol's replacement-hint contract).
+
+use compass_arch::{Cache, CacheConfig, DirEntry, Directory, LineState};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Executable reference model: per set, a recency queue (front = LRU,
+/// back = MRU) of at most `assoc` lines.
+struct LruModel {
+    sets: Vec<VecDeque<(u64, LineState)>>,
+    assoc: usize,
+}
+
+impl LruModel {
+    fn new(cfg: CacheConfig) -> Self {
+        Self {
+            sets: vec![VecDeque::new(); cfg.sets() as usize],
+            assoc: cfg.assoc as usize,
+        }
+    }
+
+    fn set_of(&self, idx: u64) -> usize {
+        (idx % self.sets.len() as u64) as usize
+    }
+
+    /// Hit refreshes recency and returns the state.
+    fn probe(&mut self, idx: u64) -> Option<LineState> {
+        let set = self.set_of(idx);
+        let q = &mut self.sets[set];
+        if let Some(pos) = q.iter().position(|&(i, _)| i == idx) {
+            let entry = q.remove(pos).expect("position exists");
+            q.push_back(entry);
+            Some(entry.1)
+        } else {
+            None
+        }
+    }
+
+    /// Fill; returns the evicted `(idx, state)` if the set was full.
+    fn insert(&mut self, idx: u64, state: LineState) -> Option<(u64, LineState)> {
+        let set = self.set_of(idx);
+        let victim = if self.sets[set].len() == self.assoc {
+            self.sets[set].pop_front()
+        } else {
+            None
+        };
+        self.sets[set].push_back((idx, state));
+        victim
+    }
+
+    fn invalidate(&mut self, idx: u64) {
+        let set = self.set_of(idx);
+        self.sets[set].retain(|&(i, _)| i != idx);
+    }
+
+    fn resident(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// 8 sets x 2 ways x 32-byte lines: tiny enough that random strings
+/// exercise every replacement path.
+fn tiny_geometry() -> CacheConfig {
+    CacheConfig {
+        size: 512,
+        assoc: 2,
+        line: 32,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    /// Probe; on miss, fill in the given state.
+    Access { line: u64, state: LineState },
+    /// External invalidation.
+    Invalidate { line: u64 },
+}
+
+fn cache_ops(lines: u64) -> impl Strategy<Value = Vec<CacheOp>> {
+    // (selector, line, state): 1-in-5 ops invalidate, the rest access in
+    // a state drawn uniformly from {Shared, Exclusive, Modified}.
+    prop::collection::vec(
+        (0..5u32, 0..lines, 0..3u32).prop_map(|(sel, line, st)| {
+            if sel == 0 {
+                CacheOp::Invalidate { line }
+            } else {
+                let state = match st {
+                    0 => LineState::Shared,
+                    1 => LineState::Exclusive,
+                    _ => LineState::Modified,
+                };
+                CacheOp::Access { line, state }
+            }
+        }),
+        1..600,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under arbitrary interleavings of accesses and invalidations, the
+    /// cache agrees with the reference model on every hit/miss outcome,
+    /// every victim choice (identity AND state), and final residency.
+    #[test]
+    fn lru_replacement_matches_reference_model(ops in cache_ops(64)) {
+        let mut cache = Cache::new(tiny_geometry());
+        let mut model = LruModel::new(tiny_geometry());
+        for op in &ops {
+            match *op {
+                CacheOp::Access { line, state } => {
+                    let got = cache.probe(line);
+                    let want = model.probe(line);
+                    prop_assert_eq!(got, want, "probe({:#x}) disagrees", line);
+                    if got.is_none() {
+                        let got_victim = cache.insert(line, state);
+                        let want_victim = model.insert(line, state);
+                        prop_assert_eq!(
+                            got_victim, want_victim,
+                            "victim for fill of {:#x} disagrees", line
+                        );
+                    }
+                }
+                CacheOp::Invalidate { line } => {
+                    cache.invalidate(line);
+                    model.invalidate(line);
+                }
+            }
+        }
+        prop_assert_eq!(cache.resident(), model.resident());
+        for (idx, state) in cache.lines() {
+            prop_assert_eq!(model.probe(idx), Some(state), "line {:#x} not in model", idx);
+        }
+    }
+
+    /// Peek never perturbs replacement: interleaving peeks into any access
+    /// string leaves hits, misses and victims unchanged.
+    #[test]
+    fn peek_is_replacement_invisible(ops in cache_ops(64), peeks in prop::collection::vec(0u64..64, 1..100)) {
+        let run = |with_peeks: bool| {
+            let mut cache = Cache::new(tiny_geometry());
+            let mut trace = Vec::new();
+            let mut peek_iter = peeks.iter().cycle();
+            for op in &ops {
+                if with_peeks {
+                    let _ = cache.peek(*peek_iter.next().expect("cycle"));
+                }
+                if let CacheOp::Access { line, state } = *op {
+                    let hit = cache.probe(line);
+                    let victim = if hit.is_none() {
+                        cache.insert(line, state)
+                    } else {
+                        None
+                    };
+                    trace.push((hit, victim));
+                }
+            }
+            (trace, cache.stats())
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+
+    /// Single-CPU protocol walk: every dirty victim is reported to the
+    /// directory as `dirty = true`, the directory stays exact (resident
+    /// lines are exactly the non-Uncached entries), and its writeback
+    /// count equals the cache's.
+    #[test]
+    fn dirty_evictions_reach_the_directory(ops in cache_ops(64)) {
+        let mut cache = Cache::new(tiny_geometry());
+        let mut dir = Directory::new();
+        // Dirty lines leaving the cache, split by cause: the cache's own
+        // writeback counter covers replacements only.
+        let mut dirty_replaced = 0u64;
+        let mut dirty_invalidated = 0u64;
+        for op in &ops {
+            match *op {
+                CacheOp::Access { line, state } => {
+                    let write = state.writable();
+                    match cache.probe(line) {
+                        Some(prev) => {
+                            if write && !prev.writable() {
+                                dir.write(line, 0);
+                                cache.set_state(line, LineState::Modified);
+                            } else if write {
+                                cache.set_state(line, LineState::Modified);
+                            }
+                        }
+                        None => {
+                            let fill_state = if write {
+                                dir.write(line, 0);
+                                LineState::Modified
+                            } else {
+                                let o = dir.read(line, 0);
+                                if o.grant_exclusive {
+                                    LineState::Exclusive
+                                } else {
+                                    LineState::Shared
+                                }
+                            };
+                            if let Some((vidx, vstate)) = cache.insert(line, fill_state) {
+                                // The contract under test: the replacement
+                                // hint carries the dirtiness of the victim.
+                                if vstate.dirty() {
+                                    dirty_replaced += 1;
+                                }
+                                dir.evict(vidx, 0, vstate.dirty());
+                            }
+                        }
+                    }
+                }
+                CacheOp::Invalidate { line } => {
+                    // Only lines the directory believes are cached may be
+                    // invalidated externally in this single-CPU walk.
+                    if let Some(state) = cache.invalidate(line) {
+                        dir.evict(line, 0, state.dirty());
+                        if state.dirty() {
+                            dirty_invalidated += 1;
+                        }
+                    }
+                }
+            }
+        }
+        dir.check_invariants(1)?;
+        // Exactness: the directory's non-Uncached entries are exactly the
+        // resident lines.
+        let resident: std::collections::HashSet<u64> =
+            cache.lines().map(|(idx, _)| idx).collect();
+        for (line, entry) in dir.entries() {
+            let cached = entry != DirEntry::Uncached;
+            prop_assert_eq!(
+                cached,
+                resident.contains(&line),
+                "directory and cache disagree on line {:#x} ({:?})", line, entry
+            );
+        }
+        prop_assert_eq!(cache.stats().writebacks, dirty_replaced);
+        prop_assert_eq!(dir.stats().writebacks, dirty_replaced + dirty_invalidated);
+    }
+}

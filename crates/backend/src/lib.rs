@@ -21,6 +21,8 @@
 //!   [`devices::TrafficSource`] for the SPECWeb-style trace player),
 //!   real-time clock and interval timer;
 //! * [`tasks`] — the timestamped task queue ("global event scheduler", §2);
+//! * [`trace`] — memory-access trace recording at the engine/architecture
+//!   boundary, replayed by the `simcheck` reference oracle;
 //! * [`stats`] — per-process and global time-attribution counters (the
 //!   data behind Table 1);
 //! * [`engine`] — the scan/take/simulate/reply loop with the
@@ -34,9 +36,11 @@ pub mod locks;
 pub mod sched;
 pub mod stats;
 pub mod tasks;
+pub mod trace;
 pub mod vm;
 
 pub use config::{BackendConfig, EngineMode, SchedPolicy};
 pub use devices::{DiskParams, NetParams, TrafficSource};
 pub use engine::{Backend, SimOutcome};
 pub use stats::{BackendStats, ProcTimes};
+pub use trace::{TraceRecord, TraceSink};

@@ -395,6 +395,76 @@ impl Vm {
     pub fn placement_stats(&self) -> (compass_mem::placement::PlacementStats, Vec<u64>) {
         (self.homes.stats(), self.homes.pages_per_node(self.nodes))
     }
+
+    /// Cross-structure consistency checks (the `check-invariants` feature
+    /// runs this after every engine step):
+    /// - every mapped PTE names a frame the allocator actually handed out;
+    /// - a private (non-shared) frame belongs to at most one process;
+    /// - materialised shm frames are allocated, and any attacher's PTE over
+    ///   a shm page agrees with the segment's frame table.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut private_owner: HashMap<u64, usize> = HashMap::new();
+        for (pid, table) in self.tables.iter().enumerate() {
+            for (vpn, pte) in table.iter() {
+                if !self.frames.is_allocated(pte.ppn) {
+                    return Err(format!(
+                        "process {pid}: vpn {vpn:#x} maps unallocated frame {:#x}",
+                        pte.ppn
+                    ));
+                }
+                if !pte.flags.shared {
+                    if let Some(prev) = private_owner.insert(pte.ppn, pid) {
+                        if prev != pid {
+                            return Err(format!(
+                                "private frame {:#x} mapped by processes {prev} and {pid}",
+                                pte.ppn
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for i in 0..self.shm.len() {
+            let seg = self.shm.segment(SegId(i as u32)).expect("index in range");
+            for (idx, frame) in seg.frames.iter().enumerate() {
+                let va = seg.base + (idx as u32) * PAGE_SIZE;
+                match frame {
+                    Some(ppn) => {
+                        if !self.frames.is_allocated(*ppn) {
+                            return Err(format!(
+                                "segment {}: page {idx} backed by unallocated frame {ppn:#x}",
+                                seg.id
+                            ));
+                        }
+                        for &pid in &seg.attached {
+                            if let Some(pte) = self.tables[pid.index()].lookup(va) {
+                                if pte.ppn != *ppn {
+                                    return Err(format!(
+                                        "segment {}: {pid} maps page {idx} to frame {:#x}, \
+                                         segment says {ppn:#x}",
+                                        seg.id, pte.ppn
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        // A PTE over an unmaterialised page means the frame
+                        // table and a page table disagree.
+                        for &pid in &seg.attached {
+                            if self.tables[pid.index()].lookup(va).is_some() {
+                                return Err(format!(
+                                    "segment {}: {pid} maps unmaterialised page {idx}",
+                                    seg.id
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

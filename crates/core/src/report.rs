@@ -65,6 +65,7 @@ mod tests {
             frontends: vec![],
             wall: Duration::from_millis(1),
             app_processes: 1,
+            fs_write_bytes: 0,
         }
     }
 

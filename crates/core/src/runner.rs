@@ -37,6 +37,10 @@ pub struct RunReport {
     /// Number of application processes (the kernel daemon is `pid
     /// app_processes`).
     pub app_processes: usize,
+    /// Bytes written to files through `write`/`writev`. Architecture-
+    /// independent: simcheck's metamorphic checks assert it is invariant
+    /// across scheduler/placement/cache knobs.
+    pub fs_write_bytes: u64,
 }
 
 impl RunReport {
@@ -60,6 +64,7 @@ pub struct SimBuilder {
     processes: Vec<Box<dyn Process>>,
     traffic: Option<Box<dyn TrafficSource>>,
     prepare: Option<PrepareFn>,
+    recorder: Option<compass_backend::TraceSink>,
 }
 
 impl SimBuilder {
@@ -70,6 +75,7 @@ impl SimBuilder {
             processes: Vec::new(),
             traffic: None,
             prepare: None,
+            recorder: None,
         }
     }
 
@@ -80,6 +86,7 @@ impl SimBuilder {
             processes: Vec::new(),
             traffic: None,
             prepare: None,
+            recorder: None,
         }
     }
 
@@ -110,6 +117,14 @@ impl SimBuilder {
         self
     }
 
+    /// Records every backend call into the architecture models into
+    /// `sink`, in global simulated order (the simcheck reference oracle
+    /// replays it — see [`compass_backend::trace`]).
+    pub fn record_accesses(mut self, sink: compass_backend::TraceSink) -> Self {
+        self.recorder = Some(sink);
+        self
+    }
+
     /// Runs the simulation to completion.
     pub fn run(self) -> RunReport {
         let SimBuilder {
@@ -117,6 +132,7 @@ impl SimBuilder {
             processes,
             traffic,
             prepare,
+            recorder,
         } = self;
         config.validate().expect("invalid simulation configuration");
         let nprocs = processes.len();
@@ -156,7 +172,7 @@ impl SimBuilder {
             os_server.start_daemon(daemon_pid, Arc::clone(&ports[daemon_pid.index()]));
 
         // --- Backend ---
-        let backend = Backend::new(
+        let mut backend = Backend::new(
             config.backend.clone(),
             ports.clone(),
             Arc::clone(&notifier),
@@ -165,6 +181,9 @@ impl SimBuilder {
             Some(daemon_pid),
             traffic.unwrap_or_else(|| Box::new(NullTraffic)),
         );
+        if let Some(sink) = recorder {
+            backend.set_access_recorder(sink);
+        }
         let started = Instant::now();
         let backend_handle = std::thread::Builder::new()
             .name("compass-backend".into())
@@ -243,6 +262,7 @@ impl SimBuilder {
             frontends,
             wall,
             app_processes: nprocs,
+            fs_write_bytes: kernel.fs_write_bytes.load(Ordering::Relaxed),
         }
     }
 }

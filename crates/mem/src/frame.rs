@@ -86,6 +86,16 @@ impl FrameAllocator {
         NodeId((ppn >> Self::NODE_SHIFT) as u16)
     }
 
+    /// True when `ppn` is a frame this allocator has actually handed out:
+    /// its node exists and its local index is below the node's allocation
+    /// watermark. Invariant checks use this to catch page-table entries
+    /// pointing at frames that were never allocated.
+    pub fn is_allocated(&self, ppn: u64) -> bool {
+        let node = (ppn >> Self::NODE_SHIFT) as usize;
+        let local = ppn & ((1 << Self::NODE_SHIFT) - 1);
+        self.next_local.get(node).is_some_and(|&next| local < next)
+    }
+
     /// Bits reserved for the local frame index (1 TiB of 4 KiB frames per
     /// node — far more than any simulated configuration needs, while keeping
     /// user frame numbers below [`crate::addr::KERNEL_PPN_BASE`]).

@@ -153,6 +153,19 @@ impl PageTable {
     pub fn mapped_pages(&self) -> u64 {
         self.mapped_pages
     }
+
+    /// Iterates over all mapped pages as `(vpn, pte)` pairs (invariant
+    /// checks and diagnostics; kernel identity mappings are not stored and
+    /// therefore not yielded).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Pte)> + '_ {
+        self.dir.iter().enumerate().flat_map(|(i1, leaf)| {
+            leaf.iter().flat_map(move |l| {
+                l.iter().enumerate().filter_map(move |(i2, e)| {
+                    e.map(|pte| ((((i1 << L2_BITS as usize) | i2) as u32), pte))
+                })
+            })
+        })
+    }
 }
 
 #[cfg(test)]

@@ -159,6 +159,10 @@ pub struct KernelShared {
     tokens: Mutex<HashMap<u32, TokenInfo>>,
     /// Interrupt-handler cycles by source `[disk, net, timer]`.
     pub intr_cycles: [std::sync::atomic::AtomicU64; 3],
+    /// Bytes written to files through `write`/`writev` paths. An
+    /// architecture-independent quantity: simcheck's metamorphic checks
+    /// assert it is invariant across scheduler/placement/cache knobs.
+    pub fs_write_bytes: std::sync::atomic::AtomicU64,
 }
 
 /// What a disk-completion token refers to.
@@ -189,6 +193,7 @@ impl KernelShared {
             next_token: AtomicU32::new(1),
             tokens: Mutex::new(HashMap::new()),
             intr_cycles: Default::default(),
+            fs_write_bytes: std::sync::atomic::AtomicU64::new(0),
         })
     }
 

@@ -33,6 +33,10 @@ pub fn dispatch(kc: &mut KernelCtx<'_>, k: &KernelShared, call: OsCall) -> SysRe
     let elapsed = kc.clock - start;
     let waited = kc.wait_cycles - wait_start;
     k.stats.record(name, elapsed.saturating_sub(waited));
+    #[cfg(feature = "check-invariants")]
+    k.waitq
+        .check_invariants()
+        .unwrap_or_else(|e| panic!("waitq invariant violated after {name}: {e}"));
     result
 }
 
@@ -449,6 +453,8 @@ fn sys_write(
         }
         kc.unlock(locks::FILETAB);
     }
+    k.fs_write_bytes
+        .fetch_add(data.len() as u64, std::sync::atomic::Ordering::Relaxed);
     Ok(SysVal::Int(data.len() as i64))
 }
 

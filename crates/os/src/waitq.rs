@@ -69,6 +69,26 @@ impl WaitQueues {
     pub fn sleepers(&self, chan: Chan) -> usize {
         self.chans.lock().get(&chan).map_or(0, |q| q.len())
     }
+
+    /// Liveness invariants (the `check-invariants` feature calls this
+    /// after every syscall dispatch): no process sleeps twice on the same
+    /// channel — a double sleep means a lost wakeup, since `wake_one`
+    /// removes one entry — and no emptied queue lingers in the map.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let g = self.chans.lock();
+        for (chan, q) in g.iter() {
+            if q.is_empty() {
+                return Err(format!("{chan:?}: empty wait queue retained"));
+            }
+            let mut seen = std::collections::HashSet::new();
+            for pid in q {
+                if !seen.insert(pid) {
+                    return Err(format!("{chan:?}: {pid} sleeping twice"));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,177 @@
+//! Running scenarios and composing the three check layers.
+
+use crate::scenario::{ArchPreset, Geometry, Scenario};
+use crate::{diff, oracle};
+use compass::runner::RunReport;
+use compass::{PlacementPolicy, SchedPolicy};
+use compass_backend::{trace, TraceRecord};
+use std::sync::Arc;
+
+/// Batch depths every scenario is replayed at; depth 1 (classic
+/// per-event rendezvous) is the baseline the others must match.
+pub const DEPTHS: [usize; 4] = [1, 4, 16, 64];
+
+/// One finished run, optionally with its recorded engine→arch trace.
+pub struct RunOutput {
+    /// The full report.
+    pub report: RunReport,
+    /// Recorded trace (empty unless recording was requested).
+    pub trace: Vec<TraceRecord>,
+}
+
+/// Runs `sc` once at the given batch depth.
+pub fn run_scenario(sc: &Scenario, depth: usize, record: bool) -> RunOutput {
+    let mut b = sc.builder();
+    let sink = if record { Some(trace::sink()) } else { None };
+    if let Some(s) = &sink {
+        b = b.record_accesses(Arc::clone(s));
+    }
+    let cfg = b.config_mut();
+    cfg.backend.sched = sc.sched;
+    cfg.backend.placement = sc.placement;
+    cfg.backend.batch_depth = depth;
+    cfg.backend.deadlock_ms = 30_000;
+    if sc.preempt {
+        cfg.backend.preempt_interval = Some(400_000);
+        cfg.backend.timer_interval = Some(400_000);
+    } else {
+        // Keep the interval timer ticking in every scenario so the IRQ
+        // path stays under test even without pre-emption.
+        cfg.backend.timer_interval = Some(900_000);
+    }
+    let report = b.run();
+    let trace = sink
+        .map(|s| std::mem::take(&mut *s.lock()))
+        .unwrap_or_default();
+    RunOutput { report, trace }
+}
+
+/// Architecture-independent quantities: equal across every backend knob
+/// for timing-independent workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Signature {
+    /// Per application process: `(frontend events, OS calls)`.
+    per_proc: Vec<(u64, u64)>,
+    /// Bytes written through `os::fs`.
+    fs_write_bytes: u64,
+    /// Barrier episodes completed.
+    barriers: u64,
+}
+
+fn signature(r: &RunReport) -> Signature {
+    Signature {
+        per_proc: r.frontends.iter().map(|f| (f.events, f.os_calls)).collect(),
+        fs_write_bytes: r.fs_write_bytes,
+        barriers: r.backend.sync.barriers,
+    }
+}
+
+/// Variants of `sc` that each change exactly one architecture/OS knob.
+/// Every preset has 4 CPUs, so the knob under test is the only change.
+pub fn metamorphic_variants(sc: &Scenario) -> Vec<Scenario> {
+    let mut v = Vec::new();
+    let mut push = |s: Scenario| {
+        if s != *sc {
+            v.push(s);
+        }
+    };
+    push(Scenario {
+        preset: if sc.preset == ArchPreset::SimpleSmp {
+            ArchPreset::CcNuma2x2
+        } else {
+            ArchPreset::SimpleSmp
+        },
+        ..*sc
+    });
+    push(Scenario {
+        geometry: if sc.geometry == Geometry::SmallCaches {
+            Geometry::Default
+        } else {
+            Geometry::SmallCaches
+        },
+        ..*sc
+    });
+    push(Scenario {
+        sched: if sc.sched == SchedPolicy::Fcfs {
+            SchedPolicy::Affinity
+        } else {
+            SchedPolicy::Fcfs
+        },
+        ..*sc
+    });
+    push(Scenario {
+        placement: if sc.placement == PlacementPolicy::FirstTouch {
+            PlacementPolicy::RoundRobin
+        } else {
+            PlacementPolicy::FirstTouch
+        },
+        ..*sc
+    });
+    push(Scenario {
+        preempt: !sc.preempt,
+        ..*sc
+    });
+    v
+}
+
+/// Runs the full check stack on one scenario; returns one message per
+/// failed check (empty = clean).
+///
+/// Layers: depth-1 baseline with trace recording → oracle replay →
+/// depth {4,16,64} differentials → (timing-independent workloads only)
+/// metamorphic knob variants. The per-step invariant layer runs inside
+/// every one of these when built with `--features check-invariants`.
+pub fn check_scenario(sc: &Scenario) -> Vec<String> {
+    let mut failures = Vec::new();
+    let base = run_scenario(sc, 1, true);
+    if base.trace.is_empty() {
+        failures.push("depth-1 run recorded an empty trace".into());
+    }
+    if let Err(e) = oracle::verify_trace(&sc.arch_config(), &base.trace, &base.report.backend.mem) {
+        failures.push(format!("oracle(depth 1): {e}"));
+    }
+    for depth in &DEPTHS[1..] {
+        let run = run_scenario(sc, *depth, false);
+        for d in diff::diff_backend_stats(&base.report.backend, &run.report.backend) {
+            failures.push(format!("depth {depth} vs 1: {d}"));
+        }
+    }
+    if sc.workload.timing_independent() {
+        let sig0 = signature(&base.report);
+        for var in metamorphic_variants(sc) {
+            let run = run_scenario(&var, 8, false);
+            let sig = signature(&run.report);
+            if sig != sig0 {
+                failures.push(format!(
+                    "metamorphic: architecture-independent quantities changed \
+                     under {var:?}:\n  base:    {sig0:?}\n  variant: {sig:?}"
+                ));
+            }
+        }
+    }
+    failures
+}
+
+/// Greedily minimises a failing scenario: repeatedly moves to the first
+/// shrink candidate that still fails, until none does (bounded — each
+/// probe is a full multi-run check).
+pub fn shrink_failure(sc: &Scenario) -> (Scenario, Vec<String>) {
+    let mut cur = *sc;
+    let mut cur_failures = check_scenario(&cur);
+    for _ in 0..16 {
+        let mut advanced = false;
+        for cand in cur.shrink() {
+            let f = check_scenario(&cand);
+            if !f.is_empty() {
+                cur = cand;
+                cur_failures = f;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    (cur, cur_failures)
+}

@@ -1,0 +1,76 @@
+//! Field-by-field comparison of two [`BackendStats`].
+//!
+//! The determinism tests assert byte-identical `Debug` output, which is a
+//! fine pass/fail signal but a useless diagnostic: a one-counter skew
+//! drowns in a hundred lines of pretty-printing. This diff names the
+//! first-class field(s) that diverged, which localises a batching bug to
+//! a subsystem (scheduler vs memory vs devices) in one line.
+
+use compass_backend::BackendStats;
+
+macro_rules! diff_fields {
+    ($out:ident, $a:ident, $b:ident; $($f:ident),+ $(,)?) => {
+        $(
+            {
+                // `BackendStats` has no top-level `PartialEq`; `Debug`
+                // output is total and deterministic, so compare that.
+                let left = format!("{:?}", $a.$f);
+                let right = format!("{:?}", $b.$f);
+                if left != right {
+                    $out.push(format!(concat!(stringify!($f), ": {} != {}"), left, right));
+                }
+            }
+        )+
+    };
+}
+
+/// Returns one message per top-level field of [`BackendStats`] on which
+/// `a` and `b` disagree (empty = identical stats).
+pub fn diff_backend_stats(a: &BackendStats, b: &BackendStats) -> Vec<String> {
+    let mut out = Vec::new();
+    diff_fields!(out, a, b;
+        procs,
+        global_cycles,
+        events,
+        mem,
+        sched,
+        sync,
+        tlb,
+        placement,
+        pages_per_node,
+        soft_faults,
+        disk_ops,
+        nic_tx,
+        irq_dispatches,
+        dropped_events,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_stats_produce_no_diff() {
+        let s = BackendStats::default();
+        assert!(diff_backend_stats(&s, &s.clone()).is_empty());
+    }
+
+    #[test]
+    fn a_single_counter_skew_is_named() {
+        let a = BackendStats::default();
+        let b = BackendStats {
+            global_cycles: 1,
+            mem: compass_arch::MemStats {
+                forwards: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let d = diff_backend_stats(&a, &b);
+        assert_eq!(d.len(), 2);
+        assert!(d[0].starts_with("global_cycles:"), "{d:?}");
+        assert!(d[1].starts_with("mem:"), "{d:?}");
+    }
+}

@@ -159,6 +159,92 @@ fn file_reads_go_through_buffer_cache_and_disk() {
 }
 
 #[test]
+fn workspace_layout_and_feature_surface() {
+    // The crate DAG the documentation promises: every member exists, and
+    // every member declares the `check-invariants` feature so a
+    // workspace-wide `--features check-invariants` build composes.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let members = [
+        "isa",
+        "mem",
+        "comm",
+        "arch",
+        "os",
+        "frontend",
+        "backend",
+        "core",
+        "workloads",
+        "bench",
+        "simcheck",
+    ];
+    for m in members {
+        let manifest = root.join("crates").join(m).join("Cargo.toml");
+        let text = std::fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("workspace member crates/{m} missing: {e}"));
+        assert!(
+            text.contains("check-invariants"),
+            "crates/{m}/Cargo.toml must declare the check-invariants feature"
+        );
+    }
+    let root_manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap();
+    assert!(root_manifest.contains("check-invariants"));
+    // The checking harness ships a binary named `simcheck`.
+    let simcheck = std::fs::read_to_string(root.join("crates/simcheck/Cargo.toml")).unwrap();
+    assert!(simcheck.contains("name = \"simcheck\""));
+    for src in ["scenario.rs", "oracle.rs", "diff.rs", "check.rs", "main.rs"] {
+        assert!(
+            root.join("crates/simcheck/src").join(src).exists(),
+            "simcheck module {src} missing"
+        );
+    }
+}
+
+#[test]
+fn engine_trace_recording_is_complete_and_ordered() {
+    // The simcheck oracle's foundation (API surface asserted here, full
+    // differential replay in crates/simcheck): SimBuilder::record_accesses
+    // captures every architecture access in non-decreasing time order,
+    // and the count matches the backend's own accounting.
+    use compass_backend::{trace, TraceRecord};
+    let sink = trace::sink();
+    let mut b =
+        SimBuilder::new(ArchConfig::ccnuma(2, 1)).record_accesses(std::sync::Arc::clone(&sink));
+    for _ in 0..2 {
+        b = b.add_process(|cpu: &mut CpuCtx| {
+            let seg = cpu.shmget(11, 4096);
+            let base = cpu.shmat(seg);
+            let heap = cpu.malloc(4096);
+            for i in 0..64 {
+                cpu.store(heap + (i % 32) * 128, 8);
+                cpu.load(base + (i % 8) * 64, 8);
+            }
+        });
+    }
+    small_deadlock_ms(&mut b);
+    let r = b.run();
+    let trace = sink.lock();
+    assert!(!trace.is_empty(), "recorder captured nothing");
+    let accesses = trace
+        .iter()
+        .filter(|t| matches!(t, TraceRecord::Access { .. }))
+        .count() as u64;
+    assert_eq!(
+        accesses,
+        r.backend.mem.total_accesses(),
+        "every hierarchy access must be recorded exactly once"
+    );
+    let mut last = 0;
+    for rec in trace.iter() {
+        if let TraceRecord::Access { time, .. } = rec {
+            assert!(*time >= last, "trace must be in global time order");
+            last = *time;
+        }
+    }
+    // Architecture-independent accounting reached the report.
+    assert_eq!(r.fs_write_bytes, 0, "no file writes in this workload");
+}
+
+#[test]
 fn file_writes_and_fsync_hit_the_disk() {
     let mut b = SimBuilder::new(ArchConfig::simple_smp(1)).add_process(|cpu: &mut CpuCtx| {
         let buf = cpu.malloc_pages(4096);
