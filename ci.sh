@@ -8,5 +8,9 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo test -q --workspace --features check-invariants
 cargo run --release -q -p compass-simcheck -- --soak 30
+# report_obs self-validates its artifacts (counters, JSONL + Chrome trace,
+# BENCH_obs.json) and exits nonzero on any malformed or silent output.
+cargo run --release -q -p compass-bench --bin report_obs -- target/obs-smoke >/dev/null
 cargo clippy --all-targets --workspace -- -D warnings
+cargo clippy --all-targets --workspace --features check-invariants -- -D warnings
 cargo fmt --all --check

@@ -63,8 +63,8 @@ pub struct BackendConfig {
     /// Interval-timer period per CPU; `None` disables timer interrupts.
     pub timer_interval: Option<Cycles>,
     /// Host-time deadlock detector: if no event can be processed and
-    /// nothing is posted for this many milliseconds, the engine panics
-    /// with a diagnostic dump.
+    /// nothing is posted for this many milliseconds, the engine returns a
+    /// structured deadlock report ([`crate::error::RunError::Deadlock`]).
     pub deadlock_ms: u64,
     /// Which simulated CPU device interrupts are routed to.
     pub irq_cpu: usize,

@@ -32,6 +32,7 @@
 pub mod config;
 pub mod devices;
 pub mod engine;
+pub mod error;
 pub mod locks;
 pub mod sched;
 pub mod stats;
@@ -42,5 +43,6 @@ pub mod vm;
 pub use config::{BackendConfig, EngineMode, SchedPolicy};
 pub use devices::{DiskParams, NetParams, TrafficSource};
 pub use engine::{Backend, SimOutcome};
+pub use error::{DeadlockKind, DeadlockReport, ProcDump, RunError};
 pub use stats::{BackendStats, ProcTimes};
 pub use trace::{TraceRecord, TraceSink};

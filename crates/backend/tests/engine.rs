@@ -49,7 +49,7 @@ impl Rig {
             None, // no kernel daemon in these scripts
             Box::new(NullTraffic),
         );
-        std::thread::spawn(move || backend.run())
+        std::thread::spawn(move || backend.run().expect("scripted run must not deadlock"))
     }
 }
 

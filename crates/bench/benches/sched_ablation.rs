@@ -24,7 +24,16 @@ fn bench_sched(c: &mut Criterion) {
         ("fcfs_preempt", SchedPolicy::Fcfs, Some(400_000u64)),
     ] {
         g.bench_function(name, |b| {
-            b.iter(|| run_tpcc(ArchConfig::ccnuma(2, 1), 4, cfg, sched, preempt))
+            b.iter(|| {
+                run_tpcc(
+                    ArchConfig::ccnuma(2, 1),
+                    4,
+                    cfg,
+                    sched,
+                    preempt,
+                    Default::default(),
+                )
+            })
         });
     }
     g.finish();

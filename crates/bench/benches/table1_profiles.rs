@@ -23,6 +23,7 @@ fn bench_profiles(c: &mut Criterion) {
                 FileSetConfig { dirs: 1 },
                 16,
                 4,
+                Default::default(),
             )
         })
     });
@@ -56,6 +57,7 @@ fn bench_profiles(c: &mut Criterion) {
                 },
                 SchedPolicy::Fcfs,
                 None,
+                Default::default(),
             )
         })
     });

@@ -1,9 +1,43 @@
 //! Scratch probe binary for sizing/diagnosis.
-use compass::ArchConfig;
+//!
+//! This is the CLI edge for the observability env knobs:
+//! `COMPASS_TRACE=off|coarse|fine` selects the trace level (counters come
+//! on with any non-off level), `COMPASS_OBS=1` turns counters on alone.
+//! An observed run prints its nonzero counters to stderr and writes the
+//! trace ring to `compass_trace.jsonl` + `compass_trace.json` (Chrome
+//! `about:tracing` / Perfetto format) in the current directory.
+use compass::{ArchConfig, ObsConfig};
 use compass_bench::*;
 use compass_workloads::httplite::FileSetConfig;
 
+/// Prints the counter catalogue and writes the trace exports when the
+/// env knobs enabled them; silent otherwise.
+fn dump_obs(r: &compass::RunReport) {
+    if let Some(obs) = &r.obs {
+        eprintln!("obs counters:");
+        for (name, v) in obs.nonzero() {
+            eprintln!("  {name:<22} {v}");
+        }
+    }
+    if let Some(trace) = &r.trace {
+        for (path, data) in [
+            ("compass_trace.jsonl", trace.to_jsonl()),
+            ("compass_trace.json", trace.to_chrome_trace()),
+        ] {
+            if let Err(e) = std::fs::write(path, data) {
+                eprintln!("probe: cannot write {path}: {e}");
+            }
+        }
+        eprintln!(
+            "trace: {} records kept, {} dropped -> compass_trace.jsonl / compass_trace.json",
+            trace.len(),
+            trace.dropped()
+        );
+    }
+}
+
 fn main() {
+    let obs = ObsConfig::from_env();
     let which = std::env::args().nth(1).unwrap_or_default();
     match which.as_str() {
         "web" => {
@@ -11,9 +45,18 @@ fn main() {
                 .nth(2)
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(20);
-            let (r, wall) =
-                timed(|| run_specweb(ArchConfig::ccnuma(2, 2), 4, FileSetConfig { dirs: 2 }, n, 6));
+            let (r, wall) = timed(|| {
+                run_specweb(
+                    ArchConfig::ccnuma(2, 2),
+                    4,
+                    FileSetConfig { dirs: 2 },
+                    n,
+                    6,
+                    obs,
+                )
+            });
             println!("web {n}: {} events in {wall:?}", r.backend.events);
+            dump_obs(&r);
         }
         "tpcc" => {
             let n: u32 = std::env::args()
@@ -35,9 +78,11 @@ fn main() {
                     cfg,
                     compass::SchedPolicy::Fcfs,
                     None,
+                    obs,
                 )
             });
             println!("tpcc {n}: {} events in {wall:?}", r.backend.events);
+            dump_obs(&r);
         }
         "tpcd" => {
             let n: u32 = std::env::args()
@@ -53,8 +98,10 @@ fn main() {
             };
             run.query = compass_workloads::db2lite::tpcd::Query::Q1(1_600);
             run.pool_pages = 96;
+            run.obs = obs;
             let ((r, _), wall) = timed(|| run.run());
             println!("tpcd {n}: {} events in {wall:?}", r.backend.events);
+            dump_obs(&r);
         }
         "batch" => {
             // Cross-depth check at the CLI: same TPC-D run at several
@@ -74,11 +121,13 @@ fn main() {
                 };
                 run.query = compass_workloads::db2lite::tpcd::Query::Q1(1_600);
                 run.pool_pages = 96;
+                run.obs = obs.clone();
                 let ((r, _), wall) = timed(|| run.run());
                 println!(
                     "batch depth {depth:>2}: {} events, {} simulated cycles, wall {wall:?}",
                     r.backend.events, r.backend.global_cycles
                 );
+                dump_obs(&r);
             }
         }
         _ => eprintln!("usage: probe web|tpcc|tpcd|batch [n]"),

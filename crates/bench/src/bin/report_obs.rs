@@ -1,0 +1,316 @@
+//! **Observability report** — runs a mixed workload with the full
+//! instrumentation stack on, writes the machine-readable record behind
+//! `BENCH_obs.json` plus the two trace exports (`compass_trace.jsonl`,
+//! `compass_trace.json`), and self-validates every artifact with a small
+//! JSON checker. Exits nonzero if any artifact is malformed or a counter
+//! that must move stayed zero — this binary doubles as the CI smoke test
+//! for the observability layer.
+//!
+//! It also measures the disabled-mode overhead: the same workload runs
+//! once with everything off and once with counters + fine tracing +
+//! progress snapshots, and both wall-clocks land in the report.
+//!
+//! Usage: `report_obs [out_dir] [iters]` (defaults: `.`, 60).
+
+use compass::{ArchConfig, CpuCtx, ObsConfig, SimBuilder, TraceLevel};
+use compass_os::fs::FileData;
+use compass_os::{OsCall, SysVal};
+use std::time::{Duration, Instant};
+
+fn workload(iters: u32, nprocs: u16) -> impl FnMut(&mut CpuCtx) + Send {
+    move |cpu: &mut CpuCtx| {
+        let seg = cpu.shmget(0x0B5, 8 * 4096);
+        let base = cpu.shmat(seg);
+        let buf = cpu.malloc_pages(4096);
+        let fd = match cpu.os_call(OsCall::Open {
+            path: "/obs.dat".into(),
+            create: false,
+        }) {
+            Ok(SysVal::NewFd(fd)) => fd,
+            other => panic!("{other:?}"),
+        };
+        for i in 0..iters {
+            cpu.lock(base);
+            cpu.store(base + 256 + (i % 16) * 64, 8);
+            cpu.unlock(base);
+            for j in 0..8u32 {
+                cpu.load(buf + ((i + j) % 32) * 64, 8);
+            }
+            if i % 6 == 0 {
+                match cpu.os_call(OsCall::ReadAt {
+                    fd,
+                    off: (i as u64 % 16) * 1024,
+                    len: 1024,
+                    buf,
+                }) {
+                    Ok(SysVal::Data(_)) => {}
+                    other => panic!("{other:?}"),
+                }
+            }
+            cpu.compute(400);
+        }
+        cpu.barrier(base + 64, nprocs);
+        let _ = cpu.os_call(OsCall::Close { fd });
+    }
+}
+
+fn run(iters: u32, obs: ObsConfig) -> (compass::RunReport, Duration) {
+    const NPROCS: u16 = 3;
+    let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2)).prepare_kernel(|k| {
+        k.create_file("/obs.dat", FileData::Synthetic { len: 32 * 1024 });
+    });
+    for _ in 0..NPROCS {
+        b = b.add_process(workload(iters, NPROCS));
+    }
+    b.config_mut().backend.timer_interval = Some(200_000);
+    b.config_mut().obs = obs;
+    let t0 = Instant::now();
+    let report = b.run();
+    (report, t0.elapsed())
+}
+
+// --- Minimal JSON validator (no dependencies) -------------------------
+
+/// Validates that `s` is one well-formed JSON value; returns the byte
+/// offset of the first error.
+fn validate_json(s: &str) -> Result<(), usize> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i == b.len() {
+        Ok(())
+    } else {
+        Err(i)
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => {
+            *i += 1;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, i);
+                string(b, i)?;
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(*i);
+                }
+                *i += 1;
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(*i),
+                }
+            }
+        }
+        Some(b'[') => {
+            *i += 1;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(*i),
+                }
+            }
+        }
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, b"true"),
+        Some(b'f') => literal(b, i, b"false"),
+        Some(b'n') => literal(b, i, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        _ => Err(*i),
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(*i);
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => *i += 2,
+            _ => *i += 1,
+        }
+    }
+    Err(*i)
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), usize> {
+    if b.len() - *i >= lit.len() && &b[*i..*i + lit.len()] == lit {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(*i)
+    }
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    while *i < b.len()
+        && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *i += 1;
+    }
+    if *i == start {
+        Err(start)
+    } else {
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+    let iters: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let mut failures: Vec<String> = Vec::new();
+
+    // Baseline: everything off.
+    let (plain, plain_wall) = run(iters, ObsConfig::default());
+    if plain.obs.is_some() || plain.trace.is_some() {
+        failures.push("disabled run still produced an obs report".into());
+    }
+
+    // Instrumented: counters + fine tracing + progress snapshots.
+    let mut obs_cfg = ObsConfig::full(TraceLevel::Fine);
+    obs_cfg.progress_every = Some(1_000);
+    let (report, obs_wall) = run(iters, obs_cfg);
+    let obs = report.obs.as_ref().expect("obs enabled");
+    let trace = report.trace.as_ref().expect("tracing enabled");
+
+    if format!("{:#?}", plain.backend) != format!("{:#?}", report.backend) {
+        failures.push("instrumentation changed the backend statistics".into());
+    }
+    for name in [
+        "events_memref",
+        "events_sync",
+        "events_ctl",
+        "sched_dispatches",
+        "timer_ticks",
+        "replies",
+        "ring_posts",
+        "os_calls",
+        "frontend_posts",
+        "backend_active_ns",
+        "frontend_gen_ns",
+        "progress_snapshots",
+    ] {
+        if obs.counter(name) == 0 {
+            failures.push(format!("counter {name} stayed zero"));
+        }
+    }
+    if trace.is_empty() {
+        failures.push("trace ring is empty".into());
+    }
+
+    // Artifacts.
+    let jsonl = trace.to_jsonl();
+    for (n, line) in jsonl.lines().enumerate() {
+        if let Err(off) = validate_json(line) {
+            failures.push(format!("trace JSONL line {} invalid at byte {off}", n + 1));
+            break;
+        }
+    }
+    let chrome = trace.to_chrome_trace();
+    if let Err(off) = validate_json(&chrome) {
+        failures.push(format!("Chrome trace invalid at byte {off}"));
+    }
+
+    let phase = |c: &str| obs.counter(c);
+    let counters_json: Vec<String> = obs
+        .nonzero()
+        .iter()
+        .map(|(n, v)| format!("    {{\"name\": \"{n}\", \"value\": {v}}}"))
+        .collect();
+    let bench_json = format!(
+        "{{\n  \"bench\": \"observability\",\n  \"iters\": {iters},\n  \
+         \"events\": {},\n  \"sim_cycles\": {},\n  \
+         \"disabled_wall_ms\": {:.3},\n  \"enabled_wall_ms\": {:.3},\n  \
+         \"enabled_overhead\": {:.3},\n  \
+         \"phase_ns\": {{\"backend_active\": {}, \"backend_wait\": {}, \
+         \"frontend_gen\": {}, \"comm_wait\": {}}},\n  \
+         \"trace_records\": {},\n  \"trace_dropped\": {},\n  \
+         \"progress_snapshots\": {},\n  \"counters\": [\n{}\n  ]\n}}\n",
+        report.backend.events,
+        report.backend.global_cycles,
+        plain_wall.as_secs_f64() * 1e3,
+        obs_wall.as_secs_f64() * 1e3,
+        obs_wall.as_secs_f64() / plain_wall.as_secs_f64().max(1e-9),
+        phase("backend_active_ns"),
+        phase("backend_wait_ns"),
+        phase("frontend_gen_ns"),
+        phase("comm_wait_ns"),
+        obs.trace_records,
+        obs.trace_dropped,
+        phase("progress_snapshots"),
+        counters_json.join(",\n"),
+    );
+    if let Err(off) = validate_json(&bench_json) {
+        failures.push(format!("BENCH_obs.json invalid at byte {off}"));
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("report_obs: cannot create {out_dir}: {e}");
+        std::process::exit(2);
+    }
+    let write = |name: &str, data: &str| {
+        let path = format!("{out_dir}/{name}");
+        if let Err(e) = std::fs::write(&path, data) {
+            eprintln!("report_obs: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote {path}");
+    };
+    write("BENCH_obs.json", &bench_json);
+    write("compass_trace.jsonl", &jsonl);
+    write("compass_trace.json", &chrome);
+    print!("{bench_json}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("report_obs: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("report_obs: all artifacts valid");
+}

@@ -39,7 +39,14 @@ fn main() {
         ("FCFS+preempt", SchedPolicy::Fcfs, Some(400_000u64)),
         ("affinity+preempt", SchedPolicy::Affinity, Some(400_000u64)),
     ] {
-        let (r, stats) = run_tpcc(ArchConfig::ccnuma(2, 1), 6, cfg, sched, preempt);
+        let (r, stats) = run_tpcc(
+            ArchConfig::ccnuma(2, 1),
+            6,
+            cfg,
+            sched,
+            preempt,
+            Default::default(),
+        );
         let total: u64 = stats.iter().map(|s| s.new_orders + s.payments).sum();
         assert_eq!(total, 6 * cfg.txns_per_terminal as u64, "all txns commit");
         let s = r.backend.sched;

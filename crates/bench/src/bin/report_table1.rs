@@ -32,7 +32,14 @@ fn main() {
     println!("paper: TPCC/DB2        user 79%    OS 21%   (interrupt 14.6%, kernel  6.4%)\n");
 
     // --- SPECWeb / httplite ---
-    let web = run_specweb(arch(), 4, FileSetConfig { dirs: 2 }, 120, 6);
+    let web = run_specweb(
+        arch(),
+        4,
+        FileSetConfig { dirs: 2 },
+        120,
+        6,
+        Default::default(),
+    );
     println!("{}", format_table1("SPECWeb/httplite", &web));
 
     // --- TPC-D / db2lite ---
@@ -62,6 +69,7 @@ fn main() {
         },
         SchedPolicy::Fcfs,
         None,
+        Default::default(),
     );
     println!("{}", format_table1("TPCC/db2lite", &oltp));
 
@@ -75,6 +83,7 @@ fn main() {
             iters: 3,
             ..Default::default()
         },
+        Default::default(),
     );
     println!("{}", format_table1("SPLASH-like sci", &sci));
 

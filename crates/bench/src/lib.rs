@@ -5,7 +5,9 @@
 //! experiment index and EXPERIMENTS.md for the paper-vs-measured record.
 
 use compass::runner::RunReport;
-use compass::{ArchConfig, CpuCtx, EngineMode, PlacementPolicy, SchedPolicy, SimBuilder};
+use compass::{
+    ArchConfig, CpuCtx, EngineMode, ObsConfig, PlacementPolicy, SchedPolicy, SimBuilder,
+};
 use compass_workloads::db2lite::tpcc::{self, TerminalStats, TpccConfig};
 use compass_workloads::db2lite::tpcd::{self, Query, QueryResults, TpcdConfig};
 use compass_workloads::db2lite::{Db2Config, Db2Shared};
@@ -48,6 +50,8 @@ pub struct TpcdRun {
     pub preempt: Option<u64>,
     /// Frontend event-batch depth (1 = classic per-event rendezvous).
     pub batch_depth: usize,
+    /// Observability (off by default; `probe` wires it to the env).
+    pub obs: ObsConfig,
 }
 
 impl TpcdRun {
@@ -65,6 +69,7 @@ impl TpcdRun {
             sched: SchedPolicy::Fcfs,
             preempt: None,
             batch_depth: 8,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -98,6 +103,7 @@ impl TpcdRun {
         cfg.backend.batch_depth = self.batch_depth;
         cfg.sample_period = self.sample_period;
         cfg.backend.deadlock_ms = 30_000;
+        cfg.obs = self.obs.clone();
         (b.run(), results)
     }
 
@@ -145,6 +151,7 @@ pub fn run_tpcc(
     cfg: TpccConfig,
     sched: SchedPolicy,
     preempt: Option<u64>,
+    obs: ObsConfig,
 ) -> (RunReport, Vec<TerminalStats>) {
     let shared = Db2Shared::new(Db2Config {
         pool_pages: 32,
@@ -177,6 +184,7 @@ pub fn run_tpcc(
     c.backend.preempt_interval = preempt;
     c.backend.timer_interval = preempt.or(Some(2_000_000));
     c.backend.deadlock_ms = 30_000;
+    c.obs = obs;
     let r = b.run();
     let stats = sink.lock().clone();
     (r, stats)
@@ -189,6 +197,7 @@ pub fn run_specweb(
     fileset: FileSetConfig,
     requests: u32,
     clients: u32,
+    obs: ObsConfig,
 ) -> RunReport {
     let trace = generate_trace(fileset, requests, 0x5EC);
     let tickets = SharedTickets::new(requests as u64);
@@ -205,16 +214,18 @@ pub fn run_specweb(
         ));
     }
     b.config_mut().backend.deadlock_ms = 30_000;
+    b.config_mut().obs = obs;
     b.run()
 }
 
 /// Runs the scientific contrast kernel.
-pub fn run_sci(arch: ArchConfig, cfg: SciConfig) -> RunReport {
+pub fn run_sci(arch: ArchConfig, cfg: SciConfig, obs: ObsConfig) -> RunReport {
     let mut b = SimBuilder::new(arch);
     for rank in 0..cfg.nprocs {
         b = b.add_process(sci::worker(cfg, rank));
     }
     b.config_mut().backend.deadlock_ms = 30_000;
+    b.config_mut().obs = obs;
     b.run()
 }
 

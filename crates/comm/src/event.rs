@@ -12,8 +12,17 @@
 //! travel through other channels ([`crate::devshared`], the OS port).
 
 use compass_isa::{ConnId, CpuId, Cycles, DiskId, NicId, ProcessId, SegId};
-use compass_mem::VAddr;
+use compass_mem::{ShmError, VAddr};
 use serde::{Deserialize, Serialize};
+
+/// Panic payload used to unwind a simulated thread (frontend workload or
+/// OS-thread kernel code) after its event port was poisoned: the backend
+/// is gone — typically because it returned a deadlock report — and the
+/// event can never be simulated, so the thread must tear down, not retry.
+/// Thread-boundary code (`catch_unwind` in the runner and the OS server)
+/// downcasts to this type to tell an orderly abort from a real bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimAbort;
 
 /// One timed event from a frontend process (or its paired OS thread, which
 /// shares the same event port and logical clock).
@@ -278,6 +287,17 @@ pub enum ReplyData {
     },
     /// Simulation is shutting down (sent to the bottom-half daemon).
     Shutdown,
+    /// A shared-memory control operation failed (e.g. frame exhaustion);
+    /// the stub surfaces it as an ENOMEM-style syscall failure instead of
+    /// the backend tearing the whole simulation down.
+    ShmFail {
+        /// Why it failed.
+        err: ShmError,
+    },
+    /// The event was *not* simulated: the port was poisoned because the
+    /// backend is gone (deadlock report / teardown). The poster must
+    /// unwind — see [`SimAbort`].
+    Aborted,
 }
 
 #[cfg(test)]

@@ -37,7 +37,8 @@ pub mod rendezvous;
 pub use cpu_states::{CpuStates, IrqSource};
 pub use devshared::{DevShared, DiskCompletion, Frame, FrameKind, TimerTick};
 pub use event::{
-    BlockReason, CtlOp, DevCmd, Event, EventBody, ExecMode, MemRefKind, Reply, ReplyData, SyncOp,
+    BlockReason, CtlOp, DevCmd, Event, EventBody, ExecMode, MemRefKind, Reply, ReplyData, SimAbort,
+    SyncOp,
 };
 pub use notifier::Notifier;
 pub use port::{EventPort, ReqPort, DEFAULT_RING_CAPACITY};

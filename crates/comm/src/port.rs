@@ -19,6 +19,7 @@ use crate::event::{Event, Reply};
 use crate::notifier::Notifier;
 use crate::rendezvous::EventRing;
 use compass_isa::{Cycles, ProcessId};
+use compass_obs::{CounterBlock, Ctr};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
@@ -33,6 +34,8 @@ pub struct EventPort {
     pub pid: ProcessId,
     ring: EventRing,
     notifier: Arc<Notifier>,
+    /// Observability counters (`None` = disabled; one branch per hook).
+    counters: Option<Arc<CounterBlock>>,
 }
 
 impl EventPort {
@@ -48,7 +51,15 @@ impl EventPort {
             pid,
             ring: EventRing::new(capacity),
             notifier,
+            counters: None,
         }
+    }
+
+    /// Attaches observability counters to the port and its ring. Setup
+    /// time only, before the port is shared.
+    pub fn set_counters(&mut self, c: Arc<CounterBlock>) {
+        self.ring.set_counters(Arc::clone(&c));
+        self.counters = Some(c);
     }
 
     /// The ring capacity (maximum batch length).
@@ -64,7 +75,12 @@ impl EventPort {
         debug_assert_eq!(ev.pid, self.pid, "event posted on foreign port");
         // The notification must reach the backend *after* the ring publish;
         // post_with runs the hook between the Release publish and parking.
-        self.ring.post_with(ev, || self.notifier.notify())
+        self.ring.post_with(ev, || {
+            if let Some(c) = &self.counters {
+                c.inc(Ctr::RingNotifies);
+            }
+            self.notifier.notify()
+        })
     }
 
     /// Appends a non-blocking event to the batch and returns immediately.
@@ -74,6 +90,9 @@ impl EventPort {
     pub fn post_batched(&self, ev: Event) {
         debug_assert_eq!(ev.pid, self.pid, "event posted on foreign port");
         if self.ring.publish(ev, false) {
+            if let Some(c) = &self.counters {
+                c.inc(Ctr::RingNotifies);
+            }
             self.notifier.notify();
         }
     }
@@ -89,6 +108,12 @@ impl EventPort {
     /// means a producer is parked until [`EventPort::reply`] (possibly much
     /// later — deferred replies implement blocking calls and descheduling).
     pub fn pop(&self) -> Option<(Event, bool)> {
+        if let Some(c) = &self.counters {
+            // Occupancy at pop time ≈ the batch depth the backend actually
+            // sees (mean = port_occ_sum / port_occ_samples).
+            c.add(Ctr::PortOccSum, self.ring.len() as u64);
+            c.inc(Ctr::PortOccSamples);
+        }
         self.ring.pop()
     }
 
@@ -105,6 +130,17 @@ impl EventPort {
     /// True while a poster is parked on this port awaiting a reply.
     pub fn has_blocked_poster(&self) -> bool {
         self.ring.has_blocked_poster()
+    }
+
+    /// Backend teardown: poisons the ring — wakes a parked poster with an
+    /// `Aborted` reply and makes every later post return `Aborted`.
+    pub fn poison(&self) {
+        self.ring.poison();
+    }
+
+    /// True once the port has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.ring.is_poisoned()
     }
 }
 

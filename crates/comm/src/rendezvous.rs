@@ -24,13 +24,22 @@
 //! reply slot is the one-shot channel of *Rust Atomics and Locks* ch. 5;
 //! the ring adds the batching described in ISSUE 1.
 
-use crate::event::{Event, Reply};
+use crate::event::{Event, Reply, ReplyData};
 use compass_isa::Cycles;
+use compass_obs::{CounterBlock, Ctr};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
-use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::{self, Thread};
+
+/// The reply a poisoned ring hands to every poster.
+const ABORTED: Reply = Reply {
+    latency: 0,
+    irq_pending: false,
+    data: ReplyData::Aborted,
+};
 
 /// Reply slot: no blocking entry outstanding.
 const IDLE: u32 = 0;
@@ -63,6 +72,11 @@ pub struct EventRing {
     reply: UnsafeCell<Reply>,
     /// The thread parked in `post`, to be unparked on reply.
     poster: Mutex<Option<Thread>>,
+    /// Set by [`EventRing::poison`]: the consumer is gone; posts return
+    /// [`ReplyData::Aborted`] instantly and publishes are dropped.
+    poisoned: AtomicBool,
+    /// Observability counters (`None` = disabled; one branch per hook).
+    counters: Option<Arc<CounterBlock>>,
 }
 
 // SAFETY: slot cells are gated by the head/tail cursors (see struct docs);
@@ -101,7 +115,14 @@ impl EventRing {
             reply_state: CachePadded::new(AtomicU32::new(IDLE)),
             reply: UnsafeCell::new(Reply::latency(0)),
             poster: Mutex::new(None),
+            poisoned: AtomicBool::new(false),
+            counters: None,
         }
+    }
+
+    /// Attaches observability counters (setup-time only, before sharing).
+    pub fn set_counters(&mut self, c: Arc<CounterBlock>) {
+        self.counters = Some(c);
     }
 
     /// Ring capacity (the maximum batch length).
@@ -119,6 +140,11 @@ impl EventRing {
     /// Panics on overflow: the producer published `cap` events without a
     /// batch cut (blocking post), which violates the port protocol.
     pub fn publish(&self, ev: Event, wants_reply: bool) -> bool {
+        if self.poisoned.load(Ordering::Relaxed) {
+            // Consumer is gone: drop silently rather than filling the ring
+            // until the overflow assert fires under a straggling producer.
+            return false;
+        }
         let tail = self.tail.load(Ordering::Relaxed); // producer-owned
         let head = self.head.load(Ordering::Acquire);
         assert!(
@@ -135,6 +161,11 @@ impl EventRing {
         unsafe {
             *slot.ev.get() = ev;
             *slot.wants_reply.get() = wants_reply;
+        }
+        if !wants_reply {
+            if let Some(c) = &self.counters {
+                c.inc(Ctr::RingBatched);
+            }
         }
         self.tail.store(tail + 1, Ordering::Release);
         // Store-load fence paired with the one in `pop`: either the
@@ -157,6 +188,15 @@ impl EventRing {
     /// visible to the consumer and before parking — the hook ports use to
     /// notify the backend without racing the publish.
     pub fn post_with(&self, ev: Event, after_publish: impl FnOnce()) -> Reply {
+        if self.poisoned.load(Ordering::SeqCst) {
+            if let Some(c) = &self.counters {
+                c.inc(Ctr::RingAborts);
+            }
+            return ABORTED;
+        }
+        if let Some(c) = &self.counters {
+            c.inc(Ctr::RingPosts);
+        }
         *self.poster.lock() = Some(thread::current());
         let prev =
             self.reply_state
@@ -167,9 +207,30 @@ impl EventRing {
         );
         self.publish(ev, true);
         after_publish();
+        // Store-buffer pairing with `poison`: our WAITING transition is
+        // separated from this load by the SeqCst fence in `publish`;
+        // poison stores the flag, fences, then reads the state. At least
+        // one side sees the other, so a poster can neither park forever
+        // on a poisoned ring nor miss a concurrent abort reply.
+        if self.poisoned.load(Ordering::SeqCst)
+            && self
+                .reply_state
+                .compare_exchange(WAITING, IDLE, Ordering::Relaxed, Ordering::Acquire)
+                .is_ok()
+        {
+            // Cancelled before the poisoner replied; the published entry
+            // is left behind for a consumer that will never pop it.
+            if let Some(c) = &self.counters {
+                c.inc(Ctr::RingAborts);
+            }
+            return ABORTED;
+        }
         loop {
             if self.reply_state.load(Ordering::Acquire) == REPLIED {
                 break;
+            }
+            if let Some(c) = &self.counters {
+                c.inc(Ctr::RingStalls);
             }
             thread::park();
         }
@@ -254,6 +315,38 @@ impl EventRing {
         assert!(prev.is_ok(), "EventRing::reply without a blocked poster");
         if let Some(t) = self.poster.lock().as_ref() {
             t.unpark();
+        }
+    }
+
+    /// True once the ring has been poisoned.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Consumer: poisons the ring during teardown (e.g. after the backend
+    /// built a deadlock report and will never pop again). A currently
+    /// parked poster is woken with an [`ReplyData::Aborted`] reply; every
+    /// later `post` returns `Aborted` instantly and `publish` drops.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if self.reply_state.load(Ordering::SeqCst) == WAITING {
+            // SAFETY: the poster does not read `reply` until it observes
+            // REPLIED, which only the CAS below publishes; we are the only
+            // consumer, so nobody else writes the cell.
+            unsafe { *self.reply.get() = ABORTED };
+            if self
+                .reply_state
+                .compare_exchange(WAITING, REPLIED, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                if let Some(t) = self.poster.lock().as_ref() {
+                    t.unpark();
+                }
+            }
+            // A failed CAS means the poster cancelled itself after seeing
+            // the flag — it already returned Aborted on its own.
         }
     }
 }
@@ -363,6 +456,58 @@ mod tests {
         ring.reply(Reply::latency(99));
         assert_eq!(poster.join().unwrap().latency, 99);
         assert!(!ring.has_blocked_poster());
+    }
+
+    #[test]
+    fn poison_wakes_a_parked_poster_with_aborted() {
+        let ring = Arc::new(EventRing::new(2));
+        let r2 = Arc::clone(&ring);
+        let poster = thread::spawn(move || r2.post(ev(1)));
+        while !ring.has_blocked_poster() {
+            std::thread::yield_now();
+        }
+        ring.poison();
+        let r = poster.join().unwrap();
+        assert_eq!(r.data, ReplyData::Aborted);
+        assert_eq!(r.latency, 0);
+        assert!(ring.is_poisoned());
+    }
+
+    #[test]
+    fn posts_after_poison_return_aborted_instantly() {
+        let ring = EventRing::new(2);
+        ring.poison();
+        let r = ring.post(ev(1));
+        assert_eq!(r.data, ReplyData::Aborted);
+        // And again — no state machine wedging.
+        assert_eq!(ring.post(ev(2)).data, ReplyData::Aborted);
+        assert!(ring.is_empty(), "aborted posts publish nothing");
+    }
+
+    #[test]
+    fn publishes_after_poison_are_dropped_not_overflowed() {
+        let ring = EventRing::new(2);
+        ring.poison();
+        for t in 0..10 {
+            assert!(!ring.publish(ev(t), false));
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn poison_with_held_blocking_entry_aborts_the_poster() {
+        // The consumer popped the blocking entry (deferred reply) and then
+        // tears down: the held poster must still wake with Aborted.
+        let ring = Arc::new(EventRing::new(2));
+        let r2 = Arc::clone(&ring);
+        let poster = thread::spawn(move || r2.post(ev(1)));
+        while ring.peek_time().is_none() {
+            std::thread::yield_now();
+        }
+        let (_e, wants) = ring.pop().unwrap();
+        assert!(wants);
+        ring.poison();
+        assert_eq!(poster.join().unwrap().data, ReplyData::Aborted);
     }
 
     #[test]

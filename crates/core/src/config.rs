@@ -3,6 +3,7 @@
 use compass_arch::ArchConfig;
 use compass_backend::BackendConfig;
 use compass_isa::TimingModel;
+use compass_obs::ObsConfig;
 use compass_os::KernelConfig;
 
 /// Everything a simulation run is parameterised by.
@@ -23,6 +24,10 @@ pub struct SimConfig {
     /// Interleaving granularity: post every Nth user memory reference
     /// (1 = the paper's basic-block-exact interleaving).
     pub sample_period: u32,
+    /// Observability: counters, structured trace, progress snapshots.
+    /// Off by default; never consulted by simulation logic, so it cannot
+    /// change simulated results.
+    pub obs: ObsConfig,
 }
 
 impl SimConfig {
@@ -40,6 +45,7 @@ impl SimConfig {
             os_threads: 0,
             pseudo_irq: false,
             sample_period: 1,
+            obs: ObsConfig::default(),
         }
     }
 

@@ -47,10 +47,13 @@ pub mod report;
 pub mod runner;
 
 pub use compass_arch::{ArchConfig, CacheConfig, LatencyParams, MemSysKind, Topology};
-pub use compass_backend::{BackendConfig, EngineMode, SchedPolicy};
+pub use compass_backend::{
+    BackendConfig, DeadlockKind, DeadlockReport, EngineMode, RunError, SchedPolicy,
+};
 pub use compass_frontend::{CpuCtx, Process};
 pub use compass_isa::{BlockCost, Cycles, InstClass, ProcessId, TimingModel};
 pub use compass_mem::{PlacementPolicy, VAddr};
+pub use compass_obs::{ObsConfig, ObsReport, ProgressSnapshot, TraceLevel};
 pub use compass_os::{KernelConfig, OsCall, SysVal};
 pub use config::SimConfig;
 pub use raw::{run_raw, RawReport};

@@ -66,6 +66,8 @@ mod tests {
             wall: Duration::from_millis(1),
             app_processes: 1,
             fs_write_bytes: 0,
+            obs: None,
+            trace: None,
         }
     }
 

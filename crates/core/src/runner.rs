@@ -5,13 +5,15 @@
 use crate::config::SimConfig;
 use compass_arch::ArchConfig;
 use compass_backend::devices::NullTraffic;
-use compass_backend::{Backend, BackendStats, TrafficSource};
-use compass_comm::{CpuStates, DevShared, EventPort, Notifier};
+use compass_backend::{Backend, BackendStats, RunError, TrafficSource};
+use compass_comm::{CpuStates, DevShared, EventPort, Notifier, SimAbort};
 use compass_frontend::{CpuCtx, FrontendStats, Process};
 use compass_isa::{Cycles, ProcessId};
+use compass_obs::{Ctr, ObsHub, ObsReport, ProgressFn, TraceBuffer, TraceHandle};
 use compass_os::bufcache::BufStats;
 use compass_os::net::NetStats;
-use compass_os::{KernelShared, OsServer};
+use compass_os::{KernelShared, OsObs, OsServer};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -41,6 +43,12 @@ pub struct RunReport {
     /// independent: simcheck's metamorphic checks assert it is invariant
     /// across scheduler/placement/cache knobs.
     pub fs_write_bytes: u64,
+    /// Merged observability counters (present when
+    /// [`SimConfig::obs`](crate::SimConfig) enabled anything).
+    pub obs: Option<ObsReport>,
+    /// The structured trace ring, for JSONL / Chrome `trace_event`
+    /// export (present when tracing was on).
+    pub trace: Option<Arc<TraceBuffer>>,
 }
 
 impl RunReport {
@@ -65,18 +73,13 @@ pub struct SimBuilder {
     traffic: Option<Box<dyn TrafficSource>>,
     prepare: Option<PrepareFn>,
     recorder: Option<compass_backend::TraceSink>,
+    progress: Option<ProgressFn>,
 }
 
 impl SimBuilder {
     /// Starts from an architecture with default everything else.
     pub fn new(arch: ArchConfig) -> Self {
-        Self {
-            config: SimConfig::new(arch),
-            processes: Vec::new(),
-            traffic: None,
-            prepare: None,
-            recorder: None,
-        }
+        Self::with_config(SimConfig::new(arch))
     }
 
     /// Starts from a full configuration.
@@ -87,6 +90,7 @@ impl SimBuilder {
             traffic: None,
             prepare: None,
             recorder: None,
+            progress: None,
         }
     }
 
@@ -125,20 +129,51 @@ impl SimBuilder {
         self
     }
 
-    /// Runs the simulation to completion.
+    /// Installs the progress-snapshot callback. Snapshots fire every
+    /// `SimConfig::obs.progress_every` serviced events; setting a
+    /// callback without a period implies the default period.
+    pub fn progress(
+        mut self,
+        f: impl Fn(&compass_obs::ProgressSnapshot) + Send + Sync + 'static,
+    ) -> Self {
+        if self.config.obs.progress_every.is_none() {
+            self.config.obs.progress_every = Some(100_000);
+        }
+        self.progress = Some(Arc::new(f));
+        self
+    }
+
+    /// Runs the simulation to completion; panics (with the deadlock
+    /// report) if the run ends in an error. Use [`SimBuilder::try_run`]
+    /// to handle errors structurally.
     pub fn run(self) -> RunReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the simulation to completion, returning a structured error
+    /// instead of panicking when the backend detects a deadlock (sync
+    /// cycle or host-timeout). On error every event port is poisoned, so
+    /// all simulated threads unwind cleanly before this returns.
+    pub fn try_run(self) -> Result<RunReport, RunError> {
         let SimBuilder {
             config,
             processes,
             traffic,
             prepare,
             recorder,
+            progress,
         } = self;
         config.validate().expect("invalid simulation configuration");
         let nprocs = processes.len();
         assert!(nprocs > 0, "no processes to simulate");
         let daemon_pid = ProcessId(nprocs as u32);
         let ncpus = config.backend.arch.ncpus();
+
+        // --- Observability ---
+        let hub = config.obs.enabled().then(ObsHub::new);
+        let counters = config.obs.counters.then(|| hub.as_ref().unwrap());
+        let trace = (config.obs.trace != compass_obs::TraceLevel::Off)
+            .then(|| TraceHandle::new(config.obs.trace, config.obs.trace_capacity));
 
         // --- Communicator ---
         let notifier = Arc::new(Notifier::new());
@@ -149,11 +184,15 @@ impl SimBuilder {
         let ring_cap = compass_comm::DEFAULT_RING_CAPACITY.max(config.backend.batch_depth + 1);
         let ports: Vec<Arc<EventPort>> = (0..=nprocs)
             .map(|pid| {
-                Arc::new(EventPort::with_capacity(
+                let mut port = EventPort::with_capacity(
                     ProcessId(pid as u32),
                     Arc::clone(&notifier),
                     ring_cap,
-                ))
+                );
+                if let Some(hub) = counters {
+                    port.set_counters(hub.register(&format!("port-{pid}")));
+                }
+                Arc::new(port)
             })
             .collect();
 
@@ -167,7 +206,11 @@ impl SimBuilder {
         } else {
             config.os_threads
         };
-        let os_server = OsServer::start(Arc::clone(&kernel), os_threads);
+        let os_obs = OsObs {
+            counters: counters.map(|hub| hub.register("os")),
+            trace: trace.clone(),
+        };
+        let os_server = OsServer::start_with(Arc::clone(&kernel), os_threads, os_obs);
         let daemon_handle =
             os_server.start_daemon(daemon_pid, Arc::clone(&ports[daemon_pid.index()]));
 
@@ -184,13 +227,25 @@ impl SimBuilder {
         if let Some(sink) = recorder {
             backend.set_access_recorder(sink);
         }
+        let backend_block = counters.map(|hub| hub.register("backend"));
+        if let Some(block) = &backend_block {
+            backend.set_counters(Arc::clone(block));
+        }
+        if let Some(t) = &trace {
+            backend.set_trace(t.clone());
+        }
+        if let Some(every) = config.obs.progress_every {
+            // Snapshots still count (and trace) with no user callback.
+            backend.set_progress(every, progress.unwrap_or_else(|| Arc::new(|_| {})));
+        }
         let started = Instant::now();
         let backend_handle = std::thread::Builder::new()
             .name("compass-backend".into())
             .spawn(move || {
-                // A dead backend leaves every frontend parked forever;
-                // abort loudly instead of hanging the harness.
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| backend.run())) {
+                // Deadlocks come back as Err; a genuine panic would leave
+                // every frontend parked forever, so abort loudly instead
+                // of hanging the harness.
+                match catch_unwind(AssertUnwindSafe(|| backend.run())) {
                     Ok(outcome) => outcome,
                     Err(e) => {
                         let msg = e
@@ -215,6 +270,7 @@ impl SimBuilder {
             let pseudo = config.pseudo_irq;
             let sample_period = config.sample_period;
             let batch_depth = config.backend.batch_depth;
+            let fe_block = counters.map(|hub| hub.register(&format!("frontend-{pid}")));
             proc_handles.push(
                 std::thread::Builder::new()
                     .name(format!("app-process-{pid}"))
@@ -227,17 +283,35 @@ impl SimBuilder {
                         }
                         cpu.set_batch_depth(batch_depth);
                         cpu.set_sample_period(sample_period);
-                        cpu.start();
-                        body.run(&mut cpu);
-                        cpu.exit();
-                        cpu.stats()
+                        if let Some(block) = &fe_block {
+                            cpu.set_obs_counters(Arc::clone(block));
+                        }
+                        let born = Instant::now();
+                        // [`SimAbort`] means the backend poisoned the
+                        // ports (deadlock teardown): unwind quietly; the
+                        // backend join reports the structured error.
+                        let res = catch_unwind(AssertUnwindSafe(|| {
+                            cpu.start();
+                            body.run(&mut cpu);
+                            cpu.exit();
+                        }));
+                        if let Some(block) = &fe_block {
+                            let lifetime = born.elapsed().as_nanos() as u64;
+                            let waited = block.get(Ctr::CommWaitNs);
+                            block.add(Ctr::FrontendGenNs, lifetime.saturating_sub(waited));
+                        }
+                        match res {
+                            Ok(()) => Some(cpu.stats()),
+                            Err(e) if e.downcast_ref::<SimAbort>().is_some() => None,
+                            Err(e) => resume_unwind(e),
+                        }
                     })
                     .expect("spawn application process"),
             );
         }
 
         // --- Join ---
-        let frontends: Vec<FrontendStats> = proc_handles
+        let frontends: Vec<Option<FrontendStats>> = proc_handles
             .into_iter()
             .map(|h| h.join().expect("application process panicked"))
             .collect();
@@ -245,6 +319,22 @@ impl SimBuilder {
         daemon_handle.join().expect("kernel daemon panicked");
         os_server.shutdown();
         let wall = started.elapsed();
+        let outcome = outcome?;
+        let frontends = frontends
+            .into_iter()
+            .map(|s| s.expect("frontend aborted but the backend reported no error"))
+            .collect();
+
+        let obs = hub.as_ref().map(|hub| {
+            if let (Some(block), Some(t)) = (&backend_block, &trace) {
+                block.add(Ctr::TraceDropped, t.buf.dropped());
+            }
+            ObsReport {
+                counters: hub.merge().all(),
+                trace_records: trace.as_ref().map_or(0, |t| t.buf.len() as u64),
+                trace_dropped: trace.as_ref().map_or(0, |t| t.buf.dropped()),
+            }
+        });
 
         let bufcache = kernel.bufs.lock().stats();
         let net = kernel.net.lock().stats;
@@ -253,7 +343,7 @@ impl SimBuilder {
             kernel.intr_cycles[1].load(Ordering::Relaxed),
             kernel.intr_cycles[2].load(Ordering::Relaxed),
         ];
-        RunReport {
+        Ok(RunReport {
             backend: outcome.stats,
             syscalls: kernel.stats.snapshot(),
             bufcache,
@@ -263,6 +353,8 @@ impl SimBuilder {
             wall,
             app_processes: nprocs,
             fs_write_bytes: kernel.fs_write_bytes.load(Ordering::Relaxed),
-        }
+            obs,
+            trace: trace.map(|t| t.buf),
+        })
     }
 }

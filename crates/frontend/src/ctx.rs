@@ -1,15 +1,18 @@
 //! `CpuCtx`: the per-process execution context and instrumentation API.
 
 use compass_comm::{
-    CpuStates, CtlOp, Event, EventBody, EventPort, ExecMode, MemRefKind, Reply, ReplyData, SyncOp,
+    CpuStates, CtlOp, Event, EventBody, EventPort, ExecMode, MemRefKind, Reply, ReplyData,
+    SimAbort, SyncOp,
 };
 use compass_isa::{BlockCost, CpuId, Cycles, InstClass, ProcessId, SegId, TimingModel};
 use compass_mem::addr::HEAP_BASE;
-use compass_mem::{SimAlloc, VAddr};
+use compass_mem::{ShmError, SimAlloc, VAddr};
+use compass_obs::{CounterBlock, Ctr};
 use compass_os::kctx::{KernelCtx, RawSink};
 use compass_os::{KernelShared, OsCall, OsConn, SysResult};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Per-process frontend counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -76,6 +79,9 @@ pub struct CpuCtx {
     batch_pending: usize,
     last_event_clock: Cycles,
     stats: FrontendStats,
+    /// Observability counters (`None` = disabled): posts issued and host
+    /// nanoseconds spent blocked in the communicator rendezvous.
+    obs: Option<Arc<CounterBlock>>,
     started: bool,
     exited: bool,
 }
@@ -137,9 +143,15 @@ impl CpuCtx {
             batch_pending: 0,
             last_event_clock: 0,
             stats: FrontendStats::default(),
+            obs: None,
             started: false,
             exited: false,
         }
+    }
+
+    /// Attaches observability counters (setup time, before `start`).
+    pub fn set_obs_counters(&mut self, c: Arc<CounterBlock>) {
+        self.obs = Some(c);
     }
 
     /// Enables forwarding of pseudo interrupt requests (§3.2's user-mode
@@ -210,11 +222,24 @@ impl CpuCtx {
             } => {
                 self.stats.events += 1;
                 self.batch_pending = 0;
+                let wait_from = self.obs.as_ref().map(|c| {
+                    c.inc(Ctr::FrontendPosts);
+                    Instant::now()
+                });
                 let reply = port.post(Event {
                     pid: self.pid,
                     time: self.clock,
                     body,
                 });
+                if let (Some(t0), Some(c)) = (wait_from, &self.obs) {
+                    c.add(Ctr::CommWaitNs, t0.elapsed().as_nanos() as u64);
+                }
+                if matches!(reply.data, ReplyData::Aborted) {
+                    // Port poisoned: the backend is gone (deadlock report
+                    // or teardown) and this event was never simulated.
+                    // Unwind the workload; the runner catches SimAbort.
+                    std::panic::panic_any(SimAbort);
+                }
                 self.clock += reply.latency;
                 self.last_event_clock = self.clock;
                 if let ReplyData::Cpu { cpu } = reply.data {
@@ -245,6 +270,9 @@ impl CpuCtx {
         if let Mode::Sim { port, .. } = &self.mode {
             if self.batch_depth > 1 && self.batch_pending + 1 < self.batch_depth {
                 self.stats.events += 1;
+                if let Some(c) = &self.obs {
+                    c.inc(Ctr::FrontendPosts);
+                }
                 port.post_batched(Event {
                     pid: self.pid,
                     time: self.clock,
@@ -461,28 +489,48 @@ impl CpuCtx {
             .expect("simulated heap exhausted")
     }
 
-    /// `shmget(key, len)` (§3.3.1).
-    pub fn shmget(&mut self, key: u32, len: u32) -> SegId {
+    /// `shmget(key, len)` (§3.3.1), returning simulated failures (frame
+    /// exhaustion, window overflow) as an ENOMEM-style error the workload
+    /// can handle — the backend no longer tears the run down for them.
+    pub fn try_shmget(&mut self, key: u32, len: u32) -> Result<SegId, ShmError> {
         match self.post(EventBody::Ctl(CtlOp::ShmGet { key, len })).data {
-            ReplyData::Shm { seg } => seg,
+            ReplyData::Shm { seg } => Ok(seg),
+            ReplyData::ShmFail { err } => Err(err),
             // Raw mode: segments degenerate to private allocations.
-            ReplyData::None => SegId(key),
+            ReplyData::None => Ok(SegId(key)),
             other => panic!("shmget reply {other:?}"),
         }
     }
 
-    /// `shmat(seg)`: returns the common attach base.
-    pub fn shmat(&mut self, seg: SegId) -> VAddr {
+    /// `shmget(key, len)`; panics on simulated failure (workloads that
+    /// treat exhaustion as a setup bug).
+    pub fn shmget(&mut self, key: u32, len: u32) -> SegId {
+        self.try_shmget(key, len)
+            .unwrap_or_else(|e| panic!("shmget({key}, {len}) failed: {e}"))
+    }
+
+    /// `shmat(seg)`: returns the common attach base, or the simulated
+    /// failure.
+    pub fn try_shmat(&mut self, seg: SegId) -> Result<VAddr, ShmError> {
         match self.post(EventBody::Ctl(CtlOp::ShmAt { seg })).data {
-            ReplyData::ShmBase { base } => base,
-            ReplyData::None => VAddr(compass_mem::addr::SHM_BASE + seg.0 * 0x10_0000),
+            ReplyData::ShmBase { base } => Ok(base),
+            ReplyData::ShmFail { err } => Err(err),
+            ReplyData::None => Ok(VAddr(compass_mem::addr::SHM_BASE + seg.0 * 0x10_0000)),
             other => panic!("shmat reply {other:?}"),
         }
     }
 
+    /// `shmat(seg)`; panics on simulated failure.
+    pub fn shmat(&mut self, seg: SegId) -> VAddr {
+        self.try_shmat(seg)
+            .unwrap_or_else(|e| panic!("shmat({seg}) failed: {e}"))
+    }
+
     /// `shmdt(seg)`.
     pub fn shmdt(&mut self, seg: SegId) {
-        self.post(EventBody::Ctl(CtlOp::ShmDt { seg }));
+        if let ReplyData::ShmFail { err } = self.post(EventBody::Ctl(CtlOp::ShmDt { seg })).data {
+            panic!("shmdt({seg}) failed: {err}");
+        }
     }
 
     // ------------------------------------------------------------------
@@ -496,6 +544,12 @@ impl CpuCtx {
         match &self.mode {
             Mode::Sim { os, .. } => {
                 let (clock, result) = os.call(self.clock, call);
+                if result == Err(compass_os::Errno::Aborted) {
+                    // The OS thread's kernel code hit a poisoned port:
+                    // the call was never simulated and no workload can
+                    // meaningfully continue. Unwind like a direct post.
+                    std::panic::panic_any(SimAbort);
+                }
                 self.clock = clock;
                 self.last_event_clock = self.clock;
                 result

@@ -92,6 +92,21 @@ impl VAddr {
     pub fn is_kernel(self) -> bool {
         self.0 >= KERNEL_BASE
     }
+
+    /// Overflow-checked offset add (`Add<u32>` wraps, which is fine for
+    /// instrumented address arithmetic but not for page-table walks near
+    /// the top of the 32-bit space).
+    #[inline]
+    pub fn checked_add(self, off: u32) -> Option<VAddr> {
+        self.0.checked_add(off).map(VAddr)
+    }
+
+    /// Overflow-checked address of page `idx` of a region based at `self`.
+    #[inline]
+    pub fn checked_page(self, idx: u32) -> Option<VAddr> {
+        idx.checked_mul(PAGE_SIZE)
+            .and_then(|off| self.checked_add(off))
+    }
 }
 
 impl PAddr {

@@ -58,6 +58,8 @@ pub enum ShmError {
     NotAttached,
     /// Zero-length segment requested.
     BadLength,
+    /// No physical frames left to back the segment (ENOMEM).
+    OutOfMemory,
 }
 
 impl std::fmt::Display for ShmError {
@@ -68,6 +70,7 @@ impl std::fmt::Display for ShmError {
             ShmError::AlreadyAttached => "segment already attached",
             ShmError::NotAttached => "segment not attached",
             ShmError::BadLength => "bad segment length",
+            ShmError::OutOfMemory => "simulated memory exhausted",
         };
         f.write_str(msg)
     }
@@ -91,6 +94,11 @@ impl ShmRegistry {
             segments: Vec::new(),
             next_base: SHM_BASE,
         }
+    }
+
+    /// The existing segment for `key`, if any.
+    pub fn lookup(&self, key: u32) -> Option<SegId> {
+        self.by_key.get(&key).copied()
     }
 
     /// `shmget(key, len)`: returns the existing segment for `key` or

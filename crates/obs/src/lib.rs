@@ -1,0 +1,64 @@
+//! The COMPASS observability layer.
+//!
+//! COMPASS's value is the numbers it emits (the paper's Table 1 time
+//! attribution, the scheduler/placement studies), so the simulator carries
+//! a first-class instrumentation layer in the style of gem5's stats
+//! framework and MGSim's event monitoring:
+//!
+//! * [`counters`] — a fixed catalogue of cheap counters ([`Ctr`]), each
+//!   subsystem/thread incrementing its own relaxed-atomic
+//!   [`CounterBlock`] registered with an [`ObsHub`] and merged once at
+//!   the end of a run.
+//! * [`trace`] — a config-driven structured trace: typed records in a
+//!   bounded ring ([`TraceBuffer`]) with level filtering
+//!   ([`TraceLevel`]), exported as JSONL or Chrome `trace_event` JSON.
+//! * [`progress`] — periodic [`ProgressSnapshot`]s emitted by the engine
+//!   loop through a callback, for runner heartbeats and livelock
+//!   detection in soak harnesses.
+//!
+//! Everything here is *observation only*: no type in this crate is ever
+//! read back by simulation code, so enabling or disabling it cannot
+//! perturb simulated timing. Disabled-mode cost is one `Option` branch
+//! per hook site.
+
+pub mod config;
+pub mod counters;
+pub mod progress;
+pub mod trace;
+
+pub use config::ObsConfig;
+pub use counters::{CounterBlock, CounterSnapshot, Ctr, ObsHub, CTR_COUNT};
+pub use progress::{ProgressFn, ProgressSnapshot};
+pub use trace::{TraceBuffer, TraceHandle, TraceKind, TraceLevel, TraceRec};
+
+/// The merged observability section of a finished run, attached to
+/// `RunReport` when observability was enabled.
+#[derive(Clone, Debug, Default)]
+pub struct ObsReport {
+    /// Every counter in catalogue order, merged across all registered
+    /// blocks (zeros included, so consumers can index by name).
+    pub counters: Vec<(&'static str, u64)>,
+    /// Records retained in the trace ring at the end of the run.
+    pub trace_records: u64,
+    /// Records overwritten because the ring was full.
+    pub trace_dropped: u64,
+}
+
+impl ObsReport {
+    /// Value of one counter by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The non-zero counters, for compact printing.
+    pub fn nonzero(&self) -> Vec<(&'static str, u64)> {
+        self.counters
+            .iter()
+            .filter(|(_, v)| *v != 0)
+            .copied()
+            .collect()
+    }
+}

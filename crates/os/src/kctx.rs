@@ -13,7 +13,7 @@
 
 use compass_comm::{
     BlockReason, CtlOp, DevCmd, Event, EventBody, EventPort, ExecMode, MemRefKind, Reply,
-    ReplyData, SyncOp,
+    ReplyData, SimAbort, SyncOp,
 };
 use compass_isa::{Cycles, ProcessId};
 use compass_mem::VAddr;
@@ -36,7 +36,16 @@ pub struct PortSink(pub Arc<EventPort>);
 
 impl EventSink for PortSink {
     fn post(&self, ev: Event) -> Reply {
-        self.0.post(ev)
+        let r = self.0.post(ev);
+        if matches!(r.data, ReplyData::Aborted) {
+            // The port was poisoned: the backend is gone and this event
+            // was never simulated. Kernel code cannot make progress (many
+            // paths would spin forever on instant zero-latency replies),
+            // so unwind the whole simulated thread; the OS server and the
+            // runner catch [`SimAbort`] at their thread boundaries.
+            std::panic::panic_any(SimAbort);
+        }
+        r
     }
 }
 

@@ -45,4 +45,4 @@ pub mod waitq;
 
 pub use kctx::{EventSink, KernelCtx, PortSink, RawSink};
 pub use proto::{Errno, Fd, OsCall, OsMsg, OsRet, SysResult, SysVal};
-pub use server::{KernelConfig, KernelShared, OsConn, OsServer, SyscallStats};
+pub use server::{KernelConfig, KernelShared, OsConn, OsObs, OsServer, SyscallStats};

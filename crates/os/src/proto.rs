@@ -40,6 +40,11 @@ pub enum Errno {
     NotSock,
     /// Invalid argument.
     Inval,
+    /// Out of (simulated) memory — shm frame exhaustion.
+    NoMem,
+    /// The simulation is tearing down (backend gone, port poisoned); the
+    /// call was not simulated and the caller must unwind.
+    Aborted,
 }
 
 impl std::fmt::Display for Errno {

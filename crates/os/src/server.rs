@@ -12,20 +12,34 @@ use crate::handlers;
 use crate::kctx::{KernelCtx, PortSink};
 use crate::kmem::KernelHeap;
 use crate::net::NetState;
-use crate::proto::{OsCall, OsMsg, OsRet, SysResult, SysVal};
+use crate::proto::{Errno, OsCall, OsMsg, OsRet, SysResult, SysVal};
 use crate::syscalls;
 use crate::waitq::{Chan, WaitQueues};
 use compass_comm::{
     BlockReason, CtlOp, DevShared, Event, EventBody, EventPort, ExecMode, ReplyData, ReqPort,
+    SimAbort,
 };
 use compass_isa::{Cycles, DiskId, ProcessId};
 use compass_mem::{VAddr, KERNEL_BASE};
+use compass_obs::{CounterBlock, Ctr, TraceHandle, TraceKind, TraceRec};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Observability hooks shared by every OS thread and the daemon. All
+/// fields optional: the default is fully disabled, costing one branch per
+/// hook site.
+#[derive(Clone, Default)]
+pub struct OsObs {
+    /// OS-call / pseudo-IRQ counters.
+    pub counters: Option<Arc<CounterBlock>>,
+    /// Coarse trace records (one per completed OS call).
+    pub trace: Option<TraceHandle>,
+}
 
 /// Simulated addresses of the kernel's global locks.
 pub mod locks {
@@ -267,12 +281,18 @@ struct ThreadSlot {
 pub struct OsServer {
     kernel: Arc<KernelShared>,
     slots: Vec<ThreadSlot>,
+    obs: OsObs,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl OsServer {
     /// Starts `nthreads` OS threads around `kernel`.
     pub fn start(kernel: Arc<KernelShared>, nthreads: usize) -> Arc<Self> {
+        Self::start_with(kernel, nthreads, OsObs::default())
+    }
+
+    /// Starts `nthreads` OS threads with observability hooks attached.
+    pub fn start_with(kernel: Arc<KernelShared>, nthreads: usize, obs: OsObs) -> Arc<Self> {
         assert!(nthreads > 0);
         let slots: Vec<ThreadSlot> = (0..nthreads)
             .map(|_| ThreadSlot {
@@ -284,16 +304,18 @@ impl OsServer {
         for (i, slot) in slots.iter().enumerate() {
             let port = Arc::clone(&slot.port);
             let k = Arc::clone(&kernel);
+            let o = obs.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("os-thread-{i}"))
-                    .spawn(move || os_thread_main(port, k))
+                    .spawn(move || os_thread_main(port, k, o))
                     .expect("spawn OS thread"),
             );
         }
         Arc::new(Self {
             kernel,
             slots,
+            obs,
             handles: Mutex::new(handles),
         })
     }
@@ -301,6 +323,11 @@ impl OsServer {
     /// The shared kernel.
     pub fn kernel(&self) -> &Arc<KernelShared> {
         &self.kernel
+    }
+
+    /// The observability hooks the server was started with.
+    pub fn obs(&self) -> &OsObs {
+        &self.obs
     }
 
     /// Pairs a frontend process with a "single" OS thread (§3.1).
@@ -352,9 +379,25 @@ impl OsServer {
     }
 }
 
+/// Runs simulated kernel code, turning a [`SimAbort`] unwind (poisoned
+/// event port — the backend is gone) into `Err(Errno::Aborted)` so the OS
+/// thread survives to answer its Shutdown message. Real panics propagate.
+fn absorb_abort<R>(f: impl FnOnce() -> R) -> Result<R, Errno> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => Ok(r),
+        Err(payload) => {
+            if payload.downcast_ref::<SimAbort>().is_some() {
+                Err(Errno::Aborted)
+            } else {
+                resume_unwind(payload)
+            }
+        }
+    }
+}
+
 /// One OS thread: waits for pairing, then serves calls until Exit, then
 /// returns to "single".
-fn os_thread_main(port: Arc<ReqPort<OsMsg, OsRet>>, kernel: Arc<KernelShared>) {
+fn os_thread_main(port: Arc<ReqPort<OsMsg, OsRet>>, kernel: Arc<KernelShared>, obs: OsObs) {
     let mut paired: Option<(ProcessId, Arc<EventPort>)> = None;
     loop {
         match port.recv() {
@@ -368,7 +411,23 @@ fn os_thread_main(port: Arc<ReqPort<OsMsg, OsRet>>, kernel: Arc<KernelShared>) {
                 let sink = PortSink(Arc::clone(eport));
                 let mut kc =
                     KernelCtx::new(*pid, &sink, clock, ExecMode::Kernel, kernel.cfg.touch_gran);
-                let result = syscalls::dispatch(&mut kc, &kernel, call);
+                if let Some(c) = &obs.counters {
+                    c.inc(Ctr::OsCalls);
+                }
+                let name = call.name();
+                let result = match absorb_abort(|| syscalls::dispatch(&mut kc, &kernel, call)) {
+                    Ok(r) => r,
+                    Err(e) => Err(e),
+                };
+                if let Some(t) = &obs.trace {
+                    if t.wants(TraceKind::OsCall) {
+                        let mut r = TraceRec::new(clock, pid.0, TraceKind::OsCall);
+                        r.a = clock;
+                        r.b = kc.clock.saturating_sub(clock);
+                        r.tag = name;
+                        t.record(r);
+                    }
+                }
                 port.respond(OsRet::Done {
                     clock: kc.clock,
                     result,
@@ -384,10 +443,16 @@ fn os_thread_main(port: Arc<ReqPort<OsMsg, OsRet>>, kernel: Arc<KernelShared>) {
                     ExecMode::Interrupt,
                     kernel.cfg.touch_gran,
                 );
-                handlers::run_pending(&mut kc, &kernel);
+                if let Some(c) = &obs.counters {
+                    c.inc(Ctr::OsPseudoIrqs);
+                }
+                let result = match absorb_abort(|| handlers::run_pending(&mut kc, &kernel)) {
+                    Ok(()) => Ok(SysVal::Unit),
+                    Err(e) => Err(e),
+                };
                 port.respond(OsRet::Done {
                     clock: kc.clock,
-                    result: Ok(SysVal::Unit),
+                    result,
                 });
             }
             OsMsg::Exit => {
@@ -405,29 +470,33 @@ fn os_thread_main(port: Arc<ReqPort<OsMsg, OsRet>>, kernel: Arc<KernelShared>) {
 /// The bottom-half daemon: blocks until the backend signals device work,
 /// drains the postbox through the interrupt handlers, blocks again.
 fn daemon_main(pid: ProcessId, port: Arc<EventPort>, kernel: Arc<KernelShared>) {
-    let sink = PortSink(port);
-    let mut kc = KernelCtx::new(pid, &sink, 0, ExecMode::Interrupt, kernel.cfg.touch_gran);
-    // Announce ourselves to the backend.
-    let r = sink.0.post(Event {
-        pid,
-        time: 0,
-        body: EventBody::Ctl(CtlOp::Start),
-    });
-    kc.clock += r.latency;
-    loop {
+    // A poisoned port makes any kernel post unwind with SimAbort; the
+    // daemon treats that like Shutdown — the backend is gone.
+    let _ = absorb_abort(move || {
+        let sink = PortSink(port);
+        let mut kc = KernelCtx::new(pid, &sink, 0, ExecMode::Interrupt, kernel.cfg.touch_gran);
+        // Announce ourselves to the backend.
         let r = sink.0.post(Event {
             pid,
-            time: kc.clock,
-            body: EventBody::Ctl(CtlOp::Block {
-                reason: BlockReason::BottomHalf,
-            }),
+            time: 0,
+            body: EventBody::Ctl(CtlOp::Start),
         });
-        if matches!(r.data, ReplyData::Shutdown) {
-            return;
-        }
         kc.clock += r.latency;
-        handlers::run_pending(&mut kc, &kernel);
-    }
+        loop {
+            let r = sink.0.post(Event {
+                pid,
+                time: kc.clock,
+                body: EventBody::Ctl(CtlOp::Block {
+                    reason: BlockReason::BottomHalf,
+                }),
+            });
+            if matches!(r.data, ReplyData::Shutdown | ReplyData::Aborted) {
+                return;
+            }
+            kc.clock += r.latency;
+            handlers::run_pending(&mut kc, &kernel);
+        }
+    });
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use crate::scenario::{ArchPreset, Geometry, Scenario};
 use crate::{diff, oracle};
 use compass::runner::RunReport;
-use compass::{PlacementPolicy, SchedPolicy};
+use compass::{ObsConfig, PlacementPolicy, RunError, SchedPolicy, TraceLevel};
 use compass_backend::{trace, TraceRecord};
 use std::sync::Arc;
 
@@ -19,8 +19,17 @@ pub struct RunOutput {
     pub trace: Vec<TraceRecord>,
 }
 
-/// Runs `sc` once at the given batch depth.
-pub fn run_scenario(sc: &Scenario, depth: usize, record: bool) -> RunOutput {
+/// Runs `sc` once at the given batch depth. `observe` turns the full
+/// observability stack on (counters, fine tracing, progress snapshots) —
+/// the depth differentials then double as the proof that instrumentation
+/// never perturbs the simulation. A deadlock comes back as `Err` so soak
+/// runs record and shrink it instead of dying.
+pub fn run_scenario(
+    sc: &Scenario,
+    depth: usize,
+    record: bool,
+    observe: bool,
+) -> Result<RunOutput, RunError> {
     let mut b = sc.builder();
     let sink = if record { Some(trace::sink()) } else { None };
     if let Some(s) = &sink {
@@ -39,11 +48,15 @@ pub fn run_scenario(sc: &Scenario, depth: usize, record: bool) -> RunOutput {
         // path stays under test even without pre-emption.
         cfg.backend.timer_interval = Some(900_000);
     }
-    let report = b.run();
+    if observe {
+        cfg.obs = ObsConfig::full(TraceLevel::Fine);
+        cfg.obs.progress_every = Some(10_000);
+    }
+    let report = b.try_run()?;
     let trace = sink
         .map(|s| std::mem::take(&mut *s.lock()))
         .unwrap_or_default();
-    RunOutput { report, trace }
+    Ok(RunOutput { report, trace })
 }
 
 /// Architecture-independent quantities: equal across every backend knob
@@ -123,15 +136,35 @@ pub fn metamorphic_variants(sc: &Scenario) -> Vec<Scenario> {
 /// every one of these when built with `--features check-invariants`.
 pub fn check_scenario(sc: &Scenario) -> Vec<String> {
     let mut failures = Vec::new();
-    let base = run_scenario(sc, 1, true);
+    // The baseline runs with the full observability stack on; every other
+    // run leaves it off, so the depth differentials below also prove that
+    // instrumentation does not change a single statistic.
+    let base = match run_scenario(sc, 1, true, true) {
+        Ok(out) => out,
+        Err(e) => return vec![format!("depth-1 run deadlocked: {e}")],
+    };
     if base.trace.is_empty() {
         failures.push("depth-1 run recorded an empty trace".into());
+    }
+    if base
+        .report
+        .obs
+        .as_ref()
+        .is_none_or(|o| o.counters.is_empty())
+    {
+        failures.push("observed depth-1 run reported no counters".into());
     }
     if let Err(e) = oracle::verify_trace(&sc.arch_config(), &base.trace, &base.report.backend.mem) {
         failures.push(format!("oracle(depth 1): {e}"));
     }
     for depth in &DEPTHS[1..] {
-        let run = run_scenario(sc, *depth, false);
+        let run = match run_scenario(sc, *depth, false, false) {
+            Ok(out) => out,
+            Err(e) => {
+                failures.push(format!("depth {depth} run deadlocked: {e}"));
+                continue;
+            }
+        };
         for d in diff::diff_backend_stats(&base.report.backend, &run.report.backend) {
             failures.push(format!("depth {depth} vs 1: {d}"));
         }
@@ -139,7 +172,13 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
     if sc.workload.timing_independent() {
         let sig0 = signature(&base.report);
         for var in metamorphic_variants(sc) {
-            let run = run_scenario(&var, 8, false);
+            let run = match run_scenario(&var, 8, false, false) {
+                Ok(out) => out,
+                Err(e) => {
+                    failures.push(format!("metamorphic variant {var:?} deadlocked: {e}"));
+                    continue;
+                }
+            };
             let sig = signature(&run.report);
             if sig != sig0 {
                 failures.push(format!(
