@@ -11,6 +11,14 @@ cargo run --release -q -p compass-simcheck -- --soak 30
 # report_obs self-validates its artifacts (counters, JSONL + Chrome trace,
 # BENCH_obs.json) and exits nonzero on any malformed or silent output.
 cargo run --release -q -p compass-bench --bin report_obs -- target/obs-smoke >/dev/null
+# Filter smoke: the reference filter must not change a single printed
+# statistic of the quickstart (simulated cycles, events, per-category
+# attribution, syscall table).
+cargo run --release -q --example quickstart >target/quickstart-base.out
+COMPASS_FILTER=1 cargo run --release -q --example quickstart >target/quickstart-filter.out
+diff -u target/quickstart-base.out target/quickstart-filter.out
+# Clippy over both filter-relevant feature combinations: default and with
+# the per-step invariant layer (which adds the mirror/epoch assertions).
 cargo clippy --all-targets --workspace -- -D warnings
 cargo clippy --all-targets --workspace --features check-invariants -- -D warnings
 cargo fmt --all --check

@@ -198,6 +198,15 @@ impl Cache {
         None
     }
 
+    /// Empties every set without touching counters or the LRU clock —
+    /// a mirror refresh, not a protocol action (protocol invalidations go
+    /// through [`Cache::invalidate`] so the directory stays exact).
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.iter_mut().for_each(|w| *w = None);
+        }
+    }
+
     /// Counters.
     pub fn stats(&self) -> CacheStats {
         self.stats

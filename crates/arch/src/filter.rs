@@ -1,0 +1,178 @@
+//! The frontend-side L1 mirror for the reference filter.
+//!
+//! Each frontend keeps a private, virtually-indexed shadow of its CPU's L1
+//! tag state and consults it on every user-mode memory reference: a
+//! predicted hit is charged the fixed L1-hit latency locally and logged to
+//! the port's side channel instead of crossing the communicator.
+//!
+//! The mirror is a **heuristic**, not a coherence participant. It runs over
+//! virtual addresses (the frontend has no translations), is populated
+//! optimistically on every reference it sees, and is cleared wholesale
+//! whenever the CPU's epoch counter in the shared `CpuStates` area moves
+//! (the backend bumps it on invalidations, interventions, inclusion
+//! evictions, unmaps, context switches and interrupt delivery). Every
+//! filtered reference is still replayed authoritatively by the backend
+//! through the real hierarchy, so a misprediction costs accuracy of the
+//! *local* clock only — the replay's credit accounting keeps `BackendStats`
+//! bit-identical regardless (see `DESIGN.md`, "The reference filter").
+
+use crate::cache::{Cache, LineState};
+use crate::config::CacheConfig;
+
+/// Per-class counters a mirror keeps about its own predictions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MirrorStats {
+    /// References predicted to hit (filtered locally).
+    pub predicted_hits: u64,
+    /// References sent down the slow path (predicted miss or upgrade).
+    pub predicted_misses: u64,
+    /// Wholesale refreshes forced by a stale epoch.
+    pub refreshes: u64,
+}
+
+/// A virtually-indexed shadow of one CPU's private L1.
+///
+/// Reuses the backend's [`Cache`] state machine with the same geometry and
+/// LRU policy as the real L1, so self-inflicted capacity evictions track
+/// closely without any backend help; only *external* state changes need an
+/// epoch-triggered refresh.
+pub struct L1Mirror {
+    cache: Cache,
+    cfg: CacheConfig,
+    stats: MirrorStats,
+}
+
+impl L1Mirror {
+    /// Builds a mirror with the real L1's geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        Self {
+            cache: Cache::new(cfg),
+            cfg,
+            stats: MirrorStats::default(),
+        }
+    }
+
+    /// The geometry this mirror was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// One reference at virtual address `va`. Returns `true` if the line
+    /// was already resident with sufficient permission — i.e. the real L1
+    /// would serve the access at the fixed hit latency — and then updates
+    /// the shadow to reflect the post-access state (the line resident,
+    /// writable if this or any earlier reference wrote it).
+    ///
+    /// Loads predict a hit on any resident state; stores only on a
+    /// writable (Exclusive/Modified) line — a store to a Shared line is a
+    /// directory upgrade and must go down the slow path.
+    pub fn access(&mut self, va: u64, write: bool) -> bool {
+        let idx = self.cache.line_of(va);
+        let hit = match self.cache.probe(idx) {
+            Some(st) => {
+                if write && !st.writable() {
+                    // Model the upgrade the slow path will perform.
+                    self.cache.set_state(idx, LineState::Modified);
+                    false
+                } else if write && st == LineState::Exclusive {
+                    self.cache.set_state(idx, LineState::Modified);
+                    true
+                } else {
+                    true
+                }
+            }
+            None => {
+                // Optimistic fill: the slow-path access will bring the
+                // line in; assume the common private-data grant
+                // (Exclusive, so a later store also filters).
+                let state = if write {
+                    LineState::Modified
+                } else {
+                    LineState::Exclusive
+                };
+                let _ = self.cache.insert(idx, state);
+                false
+            }
+        };
+        if hit {
+            self.stats.predicted_hits += 1;
+        } else {
+            self.stats.predicted_misses += 1;
+        }
+        hit
+    }
+
+    /// Wholesale refresh after an epoch bump: forget everything and
+    /// repopulate lazily. Cheap relative to the coherence or scheduling
+    /// action that triggered it.
+    pub fn refresh(&mut self) {
+        self.cache.clear();
+        self.stats.refreshes += 1;
+    }
+
+    /// Resident shadow lines (diagnostic).
+    pub fn resident(&self) -> usize {
+        self.cache.resident()
+    }
+
+    /// Prediction counters.
+    pub fn stats(&self) -> MirrorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mirror() -> L1Mirror {
+        L1Mirror::new(CacheConfig {
+            size: 1024,
+            assoc: 2,
+            line: 32,
+        })
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut m = mirror();
+        assert!(!m.access(0x1000, false));
+        assert!(m.access(0x1000, false));
+        assert!(m.access(0x1008, false), "same line");
+        assert_eq!(m.stats().predicted_hits, 2);
+        assert_eq!(m.stats().predicted_misses, 1);
+    }
+
+    #[test]
+    fn store_after_load_fill_filters() {
+        // Optimistic Exclusive grant on a load fill: the following store
+        // is a silent E->M upgrade, exactly like the real L1.
+        let mut m = mirror();
+        assert!(!m.access(0x2000, false));
+        assert!(m.access(0x2000, true));
+        assert!(m.access(0x2000, true));
+    }
+
+    #[test]
+    fn refresh_forgets_everything() {
+        let mut m = mirror();
+        m.access(0x3000, false);
+        assert!(m.access(0x3000, false));
+        m.refresh();
+        assert_eq!(m.resident(), 0);
+        assert!(!m.access(0x3000, false), "refreshed mirror predicts miss");
+        assert_eq!(m.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn capacity_evictions_track_geometry() {
+        let mut m = mirror(); // 16 sets x 2 ways, 32 B lines
+        let stride = 16 * 32; // same set
+        m.access(0x0, false);
+        m.access(stride, false);
+        m.access(0x0, false); // refresh LRU
+        m.access(2 * stride, false); // evicts `stride`
+        assert!(m.access(0x0, false));
+        assert!(!m.access(stride, false), "evicted line predicts miss");
+    }
+}

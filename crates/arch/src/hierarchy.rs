@@ -60,6 +60,13 @@ pub struct Hierarchy {
     net: Interconnect,
     stats: MemStats,
     coh_shift: u32,
+    /// CPUs whose private L1 state was changed *externally* by the most
+    /// recent [`Hierarchy::access`] (directory invalidation, owner
+    /// downgrade, L2-inclusion back-invalidation). The engine reads this
+    /// after each access to bump the victims' mirror epochs; it is cleared
+    /// at the start of the next access. Pure observation — it feeds no
+    /// latency or statistic, so oracle replays are unaffected.
+    epoch_victims: Vec<usize>,
 }
 
 impl Hierarchy {
@@ -87,6 +94,7 @@ impl Hierarchy {
             dir: Directory::new(),
             stats: MemStats::default(),
             coh_shift,
+            epoch_victims: Vec::new(),
             cfg,
         }
     }
@@ -128,6 +136,7 @@ impl Hierarchy {
             self.l2[cpu].invalidate(coh);
         }
         self.stats.invalidations_delivered += 1;
+        self.epoch_victims.push(cpu);
     }
 
     /// Fill a coherence line into a CPU's L2 (when present), sending a
@@ -137,8 +146,10 @@ impl Hierarchy {
             return;
         }
         if let Some((victim, vstate)) = self.l2[cpu].insert(coh, state) {
-            // Inclusion: purge the victim's L1 sublines.
+            // Inclusion: purge the victim's L1 sublines. The frontend
+            // mirror cannot model L2 evictions, so this is an epoch event.
             self.l1_back_invalidate(cpu, victim);
+            self.epoch_victims.push(cpu);
             self.dir.evict(victim, cpu as u16, vstate.dirty());
             if vstate.dirty() {
                 // Posted writeback: occupancy only, off the critical path.
@@ -178,6 +189,7 @@ impl Hierarchy {
     ) -> AccessResult {
         debug_assert!(cpu < self.cfg.ncpus(), "cpu {cpu} out of range");
         debug_assert!(home < self.cfg.nodes, "home {home} out of range");
+        self.epoch_victims.clear();
         let ci = acc.class.index();
         self.stats.accesses[ci] += 1;
 
@@ -419,6 +431,7 @@ impl Hierarchy {
 
     /// Owner-side downgrade M→S after a read forward.
     fn l2_downgrade(&mut self, owner: usize, coh: u64) {
+        self.epoch_victims.push(owner);
         if self.l2.is_empty() {
             if self.l1[owner].peek(coh).is_some() {
                 self.l1[owner].set_state(coh, LineState::Shared);
@@ -467,6 +480,13 @@ impl Hierarchy {
     /// copy (write fault by a current reader).
     pub fn count_dsm_fault(&mut self) {
         self.stats.dsm_faults += 1;
+    }
+
+    /// CPUs whose private L1/L2 state the most recent
+    /// [`Hierarchy::access`] changed from the outside (invalidations,
+    /// downgrades, inclusion back-invalidations). May contain duplicates.
+    pub fn epoch_victims(&self) -> &[usize] {
+        &self.epoch_victims
     }
 
     /// Accumulated statistics.
@@ -679,6 +699,10 @@ mod tests {
         // CPU1 writes: CPU0's copy must be invalidated.
         h.access(1, p, write(), 0, 2_000);
         assert!(h.stats().invalidations_delivered >= 1);
+        assert!(
+            h.epoch_victims().contains(&0),
+            "invalidated CPU must be reported as an epoch victim"
+        );
         // CPU0's next read misses again.
         let r = h.access(0, p, read(), 0, 3_000);
         assert!(!r.l1_hit);

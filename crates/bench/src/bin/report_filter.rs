@@ -1,0 +1,147 @@
+//! **Reference-filter throughput report** — frontend events/second and
+//! the fraction of user memory references the L1/TLB mirrors filter, at
+//! filter off/on across batch depths, as machine-readable JSON (the
+//! record behind `BENCH_filter.json`).
+//!
+//! Two profiles bracket the design space: `sci` (the SPLASH-like
+//! relaxation kernel — long strided sweeps over a working set that fits
+//! in L1, the filter's best case) and `httplite` (SPECWeb-style serving —
+//! OS-call dominated, the filter's worst case). The filter must buy
+//! throughput without changing a single statistic; the simcheck suite
+//! proves the latter, this report records the former.
+
+use compass::runner::RunReport;
+use compass::{ArchConfig, SimBuilder};
+use compass_workloads::httplite::{
+    self, generate_fileset, generate_trace, FileSetConfig, ServerConfig, SharedTickets, TracePlayer,
+};
+use compass_workloads::sci::{self, SciConfig};
+use std::sync::Arc;
+
+/// One measured configuration.
+struct Row {
+    profile: &'static str,
+    depth: usize,
+    filter: bool,
+    events_per_sec: f64,
+    /// Filtered refs over all user-class memory accesses.
+    filter_rate: f64,
+}
+
+fn measure(profile: &'static str, depth: usize, filter: bool, report: RunReport) -> Row {
+    let events: u64 = report.frontends.iter().map(|f| f.events).sum();
+    let filtered: u64 = report.frontends.iter().map(|f| f.refs_filtered).sum();
+    let user_refs = report.backend.mem.accesses[0].max(1);
+    Row {
+        profile,
+        depth,
+        filter,
+        events_per_sec: events as f64 / report.wall.as_secs_f64().max(1e-9),
+        filter_rate: filtered as f64 / user_refs as f64,
+    }
+}
+
+fn run_sci(depth: usize, filter: bool) -> Row {
+    let cfg = SciConfig {
+        nprocs: 4,
+        rows: 48,
+        cols: 96,
+        iters: 4,
+        ..Default::default()
+    };
+    let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2));
+    for rank in 0..cfg.nprocs {
+        b = b.add_process(sci::worker(cfg, rank));
+    }
+    b.config_mut().backend.batch_depth = depth;
+    b.config_mut().backend.deadlock_ms = 30_000;
+    b.config_mut().filter = filter;
+    measure("sci", depth, filter, b.run())
+}
+
+fn run_httplite(depth: usize, filter: bool) -> Row {
+    let fileset = FileSetConfig { dirs: 2 };
+    let requests = 120;
+    let trace = generate_trace(fileset, requests, 0x5EC);
+    let tickets = SharedTickets::new(requests as u64);
+    let cfg = ServerConfig::default();
+    let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2))
+        .prepare_kernel(move |k| {
+            generate_fileset(k, fileset);
+        })
+        .traffic(TracePlayer::new(trace, 6, cfg.port));
+    for _ in 0..4 {
+        b = b.add_process(httplite::worker(cfg, Arc::clone(&tickets)));
+    }
+    b.config_mut().backend.batch_depth = depth;
+    b.config_mut().backend.deadlock_ms = 30_000;
+    b.config_mut().filter = filter;
+    measure("httplite", depth, filter, b.run())
+}
+
+fn main() {
+    let depths = [1usize, 8, 32];
+    let mut rows: Vec<Row> = Vec::new();
+    for &depth in &depths {
+        for filter in [false, true] {
+            for row in [run_sci(depth, filter), run_httplite(depth, filter)] {
+                eprintln!(
+                    "{:<8} depth {:>2} filter {:<5} {:>12.0} events/s  {:>5.1}% filtered",
+                    row.profile,
+                    row.depth,
+                    row.filter,
+                    row.events_per_sec,
+                    row.filter_rate * 100.0
+                );
+                rows.push(row);
+            }
+        }
+    }
+    // Speedup of filter-on over filter-off at the same (profile, depth).
+    let speedup = |profile: &str, depth: usize| -> f64 {
+        let at = |filter: bool| {
+            rows.iter()
+                .find(|r| r.profile == profile && r.depth == depth && r.filter == filter)
+                .expect("measured")
+                .events_per_sec
+        };
+        at(true) / at(false)
+    };
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"profile\": \"{}\", \"depth\": {}, \"filter\": {}, \
+                 \"events_per_sec\": {:.0}, \"filter_rate\": {:.4}, \
+                 \"speedup_vs_unfiltered\": {:.2}}}",
+                r.profile,
+                r.depth,
+                r.filter,
+                r.events_per_sec,
+                r.filter_rate,
+                if r.filter {
+                    speedup(r.profile, r.depth)
+                } else {
+                    1.0
+                }
+            )
+        })
+        .collect();
+    let sci_rate = rows
+        .iter()
+        .filter(|r| r.profile == "sci" && r.filter)
+        .map(|r| r.filter_rate)
+        .fold(0.0f64, f64::max);
+    println!("{{");
+    println!("  \"bench\": \"reference_filter\",");
+    println!("  \"rows\": [");
+    println!("{}", entries.join(",\n"));
+    println!("  ],");
+    println!("  \"sci_depth1_speedup\": {:.2},", speedup("sci", 1));
+    println!("  \"sci_filter_rate\": {sci_rate:.4},");
+    println!(
+        "  \"httplite_depth1_speedup\": {:.2}",
+        speedup("httplite", 1)
+    );
+    println!("}}");
+}

@@ -41,6 +41,13 @@ const ABORTED: Reply = Reply {
     data: ReplyData::Aborted,
 };
 
+/// Bounds for the adaptive reply spin (see [`EventRing::post_with`]): the
+/// producer spins at least `SPIN_MIN` and at most `SPIN_MAX` iterations on
+/// the reply slot before parking, doubling the budget each time the spin
+/// catches the reply and halving it each time it has to park anyway.
+const SPIN_MIN: u32 = 64;
+const SPIN_MAX: u32 = 4096;
+
 /// Reply slot: no blocking entry outstanding.
 const IDLE: u32 = 0;
 /// Producer has published a blocking entry and parks until REPLIED.
@@ -75,6 +82,9 @@ pub struct EventRing {
     /// Set by [`EventRing::poison`]: the consumer is gone; posts return
     /// [`ReplyData::Aborted`] instantly and publishes are dropped.
     poisoned: AtomicBool,
+    /// Producer-owned adaptive spin budget (atomic only because the ring
+    /// is `Sync`; always accessed Relaxed by the single producer).
+    spin_budget: AtomicU32,
     /// Observability counters (`None` = disabled; one branch per hook).
     counters: Option<Arc<CounterBlock>>,
 }
@@ -116,6 +126,7 @@ impl EventRing {
             reply: UnsafeCell::new(Reply::latency(0)),
             poster: Mutex::new(None),
             poisoned: AtomicBool::new(false),
+            spin_budget: AtomicU32::new(SPIN_MIN),
             counters: None,
         }
     }
@@ -224,6 +235,37 @@ impl EventRing {
                 c.inc(Ctr::RingAborts);
             }
             return ABORTED;
+        }
+        // Adaptive spin before parking: at batch depth 1 the backend's
+        // reply typically lands within a few hundred nanoseconds of the
+        // notify, while a park/unpark round trip costs microseconds — the
+        // old unconditional park made ring_stalls ≈ ring_posts. Spin a
+        // bounded budget first; a reply caught spinning avoids the park.
+        // The budget doubles on success and halves on a park, so posters
+        // whose replies genuinely take long (blocking OS calls, lock
+        // waits) fall back to parking almost immediately.
+        let budget = self.spin_budget.load(Ordering::Relaxed);
+        let mut spun = 0u32;
+        let mut replied_in_spin = false;
+        while spun < budget {
+            if self.reply_state.load(Ordering::Acquire) == REPLIED {
+                replied_in_spin = true;
+                break;
+            }
+            std::hint::spin_loop();
+            spun += 1;
+        }
+        if replied_in_spin {
+            if spun > 0 {
+                if let Some(c) = &self.counters {
+                    c.inc(Ctr::RingSpinsAvoidedPark);
+                }
+            }
+            self.spin_budget
+                .store((budget * 2).min(SPIN_MAX), Ordering::Relaxed);
+        } else {
+            self.spin_budget
+                .store((budget / 2).max(SPIN_MIN), Ordering::Relaxed);
         }
         loop {
             if self.reply_state.load(Ordering::Acquire) == REPLIED {

@@ -24,6 +24,12 @@ pub struct SimConfig {
     /// Interleaving granularity: post every Nth user memory reference
     /// (1 = the paper's basic-block-exact interleaving).
     pub sample_period: u32,
+    /// Reference filtering: each frontend keeps private L1/TLB mirrors
+    /// and handles predicted hits locally, logging them for backend
+    /// replay. Bit-identical results either way (see the backend engine
+    /// docs); ignored when `pseudo_irq` is on, whose per-reply flag check
+    /// filtering would skip.
+    pub filter: bool,
     /// Observability: counters, structured trace, progress snapshots.
     /// Off by default; never consulted by simulation logic, so it cannot
     /// change simulated results.
@@ -45,6 +51,7 @@ impl SimConfig {
             os_threads: 0,
             pseudo_irq: false,
             sample_period: 1,
+            filter: false,
             obs: ObsConfig::default(),
         }
     }

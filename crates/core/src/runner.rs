@@ -270,6 +270,12 @@ impl SimBuilder {
             let pseudo = config.pseudo_irq;
             let sample_period = config.sample_period;
             let batch_depth = config.backend.batch_depth;
+            let filter = config.filter.then_some((
+                config.backend.arch.l1,
+                config.backend.arch.lat.l1_hit,
+                config.backend.tlb_entries,
+                config.backend.tlb_assoc,
+            ));
             let fe_block = counters.map(|hub| hub.register(&format!("frontend-{pid}")));
             proc_handles.push(
                 std::thread::Builder::new()
@@ -280,6 +286,11 @@ impl SimBuilder {
                         let mut cpu = CpuCtx::simulated(pid, port, os, cpu_states, timing);
                         if pseudo {
                             cpu.enable_pseudo_irq();
+                        }
+                        if let Some((l1, hit_lat, tlb_entries, tlb_assoc)) = filter {
+                            // Mirrors match the real L1 geometry and TLB;
+                            // a no-op under pseudo-IRQ (see enable_filter).
+                            cpu.enable_filter(l1, hit_lat, tlb_entries, tlb_assoc);
                         }
                         cpu.set_batch_depth(batch_depth);
                         cpu.set_sample_period(sample_period);

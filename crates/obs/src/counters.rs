@@ -78,10 +78,23 @@ pub enum Ctr {
     BackendWaitNs,
     /// Trace records dropped because the ring was full.
     TraceDropped,
+    /// Memory references resolved locally by a frontend's L1/TLB mirror
+    /// (charged the fixed L1-hit latency without a port rendezvous).
+    RefsFiltered,
+    /// Mirror refreshes forced by a stale per-CPU epoch.
+    EpochRefreshes,
+    /// Filtered-reference log flushes pushed through a port.
+    FilterFlushes,
+    /// Replayed filtered references whose true latency differed from the
+    /// frontend's pre-charged L1-hit latency (mirror mispredictions).
+    FilterMispredicts,
+    /// Blocking posts answered during the bounded reply spin, avoiding a
+    /// full thread park.
+    RingSpinsAvoidedPark,
 }
 
 /// Number of counters in the catalogue.
-pub const CTR_COUNT: usize = Ctr::TraceDropped as usize + 1;
+pub const CTR_COUNT: usize = Ctr::RingSpinsAvoidedPark as usize + 1;
 
 impl Ctr {
     /// Every counter, in slot order.
@@ -114,6 +127,11 @@ impl Ctr {
         Ctr::BackendActiveNs,
         Ctr::BackendWaitNs,
         Ctr::TraceDropped,
+        Ctr::RefsFiltered,
+        Ctr::EpochRefreshes,
+        Ctr::FilterFlushes,
+        Ctr::FilterMispredicts,
+        Ctr::RingSpinsAvoidedPark,
     ];
 
     /// Stable snake_case name used in reports and JSON exports.
@@ -147,6 +165,11 @@ impl Ctr {
             Ctr::BackendActiveNs => "backend_active_ns",
             Ctr::BackendWaitNs => "backend_wait_ns",
             Ctr::TraceDropped => "trace_dropped",
+            Ctr::RefsFiltered => "refs_filtered",
+            Ctr::EpochRefreshes => "epoch_refreshes",
+            Ctr::FilterFlushes => "filter_flushes",
+            Ctr::FilterMispredicts => "filter_mispredicts",
+            Ctr::RingSpinsAvoidedPark => "ring_spins_avoided_park",
         }
     }
 }

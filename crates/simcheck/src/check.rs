@@ -22,13 +22,16 @@ pub struct RunOutput {
 /// Runs `sc` once at the given batch depth. `observe` turns the full
 /// observability stack on (counters, fine tracing, progress snapshots) —
 /// the depth differentials then double as the proof that instrumentation
-/// never perturbs the simulation. A deadlock comes back as `Err` so soak
-/// runs record and shrink it instead of dying.
+/// never perturbs the simulation. `filter` sets frontend reference
+/// filtering for this run (callers pass `sc.filter` or its negation for
+/// the filter differential). A deadlock comes back as `Err` so soak runs
+/// record and shrink it instead of dying.
 pub fn run_scenario(
     sc: &Scenario,
     depth: usize,
     record: bool,
     observe: bool,
+    filter: bool,
 ) -> Result<RunOutput, RunError> {
     let mut b = sc.builder();
     let sink = if record { Some(trace::sink()) } else { None };
@@ -48,6 +51,7 @@ pub fn run_scenario(
         // path stays under test even without pre-emption.
         cfg.backend.timer_interval = Some(900_000);
     }
+    cfg.filter = filter;
     if observe {
         cfg.obs = ObsConfig::full(TraceLevel::Fine);
         cfg.obs.progress_every = Some(10_000);
@@ -124,6 +128,10 @@ pub fn metamorphic_variants(sc: &Scenario) -> Vec<Scenario> {
         preempt: !sc.preempt,
         ..*sc
     });
+    push(Scenario {
+        filter: !sc.filter,
+        ..*sc
+    });
     v
 }
 
@@ -131,15 +139,15 @@ pub fn metamorphic_variants(sc: &Scenario) -> Vec<Scenario> {
 /// failed check (empty = clean).
 ///
 /// Layers: depth-1 baseline with trace recording → oracle replay →
-/// depth {4,16,64} differentials → (timing-independent workloads only)
-/// metamorphic knob variants. The per-step invariant layer runs inside
+/// filter-toggled differential → depth {4,16,64} differentials →
+/// (timing-independent workloads only) metamorphic knob variants. The per-step invariant layer runs inside
 /// every one of these when built with `--features check-invariants`.
 pub fn check_scenario(sc: &Scenario) -> Vec<String> {
     let mut failures = Vec::new();
     // The baseline runs with the full observability stack on; every other
     // run leaves it off, so the depth differentials below also prove that
     // instrumentation does not change a single statistic.
-    let base = match run_scenario(sc, 1, true, true) {
+    let base = match run_scenario(sc, 1, true, true, sc.filter) {
         Ok(out) => out,
         Err(e) => return vec![format!("depth-1 run deadlocked: {e}")],
     };
@@ -157,8 +165,23 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
     if let Err(e) = oracle::verify_trace(&sc.arch_config(), &base.trace, &base.report.backend.mem) {
         failures.push(format!("oracle(depth 1): {e}"));
     }
+    // Filter differential: a dark depth-1 run with reference filtering
+    // toggled the other way must match the instrumented baseline
+    // statistic for statistic. Depth 1 pins per-event rendezvous, so any
+    // divergence is the filter's alone.
+    match run_scenario(sc, 1, false, false, !sc.filter) {
+        Ok(run) => {
+            for d in diff::diff_backend_stats(&base.report.backend, &run.report.backend) {
+                failures.push(format!(
+                    "filter={} vs filter={}: {d}",
+                    !sc.filter, sc.filter
+                ));
+            }
+        }
+        Err(e) => failures.push(format!("filter-toggled run deadlocked: {e}")),
+    }
     for depth in &DEPTHS[1..] {
-        let run = match run_scenario(sc, *depth, false, false) {
+        let run = match run_scenario(sc, *depth, false, false, sc.filter) {
             Ok(out) => out,
             Err(e) => {
                 failures.push(format!("depth {depth} run deadlocked: {e}"));
@@ -172,7 +195,7 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
     if sc.workload.timing_independent() {
         let sig0 = signature(&base.report);
         for var in metamorphic_variants(sc) {
-            let run = match run_scenario(&var, 8, false, false) {
+            let run = match run_scenario(&var, 8, false, false, var.filter) {
                 Ok(out) => out,
                 Err(e) => {
                     failures.push(format!("metamorphic variant {var:?} deadlocked: {e}"));

@@ -107,6 +107,11 @@ pub struct Scenario {
     pub preempt: bool,
     /// Page placement.
     pub placement: PlacementPolicy,
+    /// Frontend reference filtering (ISSUE 4). Must be statistics-neutral:
+    /// the check stack diffs every scenario against its filter-toggled
+    /// twin, so this axis proves the mirror/replay protocol bit-exact
+    /// across the whole scenario space.
+    pub filter: bool,
 }
 
 impl Scenario {
@@ -158,6 +163,9 @@ impl Scenario {
             PlacementPolicy::RoundRobin,
             PlacementPolicy::Block(2),
         ][rng.gen_range(0..3usize)];
+        // Drawn last so adding the axis left every earlier draw (and thus
+        // every historical seed's scenario shape) unchanged.
+        let filter = rng.gen_bool(0.5);
         Scenario {
             seed,
             workload,
@@ -167,6 +175,7 @@ impl Scenario {
             sched,
             preempt,
             placement,
+            filter,
         }
     }
 
@@ -401,6 +410,12 @@ impl Scenario {
                     ..*self
                 });
             }
+            if self.filter {
+                push(Scenario {
+                    filter: false,
+                    ..*self
+                });
+            }
             push(Scenario {
                 placement: PlacementPolicy::FirstTouch,
                 ..*self
@@ -530,6 +545,8 @@ mod tests {
             assert!(scenarios.iter().any(|s| s.preset == preset));
         }
         assert!(scenarios.iter().any(|s| s.preempt));
+        assert!(scenarios.iter().any(|s| s.filter));
+        assert!(scenarios.iter().any(|s| !s.filter));
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! daemon, and the backend attributes every cycle.
 //!
 //! Run: `cargo run --release --example quickstart`
+//!
+//! Set `COMPASS_FILTER=1` to turn on frontend reference filtering
+//! (private L1/TLB mirrors, ISSUE 4); every printed statistic is
+//! bit-identical either way — CI diffs the two outputs.
 
 use compass::report::{format_syscall_table, format_table1};
 use compass::{ArchConfig, CpuCtx, SimBuilder};
@@ -21,7 +25,7 @@ fn main() {
         arch.nodes
     );
 
-    let report = SimBuilder::new(arch)
+    let mut builder = SimBuilder::new(arch)
         .prepare_kernel(|k| {
             k.create_file("/data/input", FileData::Synthetic { len: 64 * 1024 });
         })
@@ -51,8 +55,9 @@ fn main() {
             }
             cpu.os_call(OsCall::Close { fd }).unwrap();
             assert_eq!(total, 64 * 1024);
-        })
-        .run();
+        });
+    builder.config_mut().filter = std::env::var_os("COMPASS_FILTER").is_some_and(|v| v == "1");
+    let report = builder.run();
 
     println!("simulated cycles : {}", report.backend.global_cycles);
     println!("events processed : {}", report.backend.events);

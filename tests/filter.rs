@@ -1,0 +1,259 @@
+//! The reference filter (ISSUE 4) end to end: frontends that predict L1
+//! hits against private mirrors and keep them off the port must produce
+//! **bit-identical** `BackendStats` — every filtered reference is still
+//! replayed authoritatively by the backend, and the credit/precharge
+//! algebra reconciles the locally prepaid hit latency exactly. The epoch
+//! protocol is an accuracy mechanism on top: whenever the backend changes
+//! a CPU's private cache/TLB state (context switch, directory
+//! invalidation, unmap), the owning frontend must take a slow-path
+//! refresh, observable through `FrontendStats::epoch_refreshes`.
+
+use compass::{ArchConfig, CpuCtx, EngineMode, RunReport, SimBuilder};
+use compass_backend::BackendStats;
+use compass_os::fs::FileData;
+use compass_os::{OsCall, SysVal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The determinism suite's chaos body: a seeded mix of private and
+/// locked shared memory work, file reads, compute, and a trailing
+/// barrier.
+fn chaos_process(seed: u64, nprocs: u16) -> impl FnMut(&mut CpuCtx) + Send {
+    move |cpu: &mut CpuCtx| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seg = cpu.shmget(0xF117, 16 * 4096);
+        let base = cpu.shmat(seg);
+        let heap = cpu.malloc_pages(16 * 4096);
+        let buf = cpu.malloc_pages(4096);
+        let fd = match cpu.os_call(OsCall::Open {
+            path: "/chaos".into(),
+            create: false,
+        }) {
+            Ok(SysVal::NewFd(fd)) => fd,
+            other => panic!("{other:?}"),
+        };
+        for step in 0..120u32 {
+            match rng.gen_range(0..10) {
+                0..=2 => {
+                    let a = heap + rng.gen_range(0..16 * 4096 - 8);
+                    if rng.gen_bool(0.5) {
+                        cpu.load(a, 8);
+                    } else {
+                        cpu.store(a, 8);
+                    }
+                }
+                3..=4 => {
+                    let line = rng.gen_range(4..16u32);
+                    cpu.lock(base);
+                    cpu.store(base + line * 256, 8);
+                    cpu.load(base + line * 256 + 64, 8);
+                    cpu.unlock(base);
+                }
+                5 => cpu.compute(rng.gen_range(100..5_000)),
+                6..=7 => {
+                    let off = rng.gen_range(0..96u64) * 1024;
+                    match cpu.os_call(OsCall::ReadAt {
+                        fd,
+                        off,
+                        len: 1024,
+                        buf,
+                    }) {
+                        Ok(SysVal::Data(_)) => {}
+                        other => panic!("{other:?}"),
+                    }
+                }
+                8 => {
+                    cpu.load(base + (seed as u32 % 8) * 512, 8);
+                }
+                _ => cpu.compute(50 + step as u64 % 7),
+            }
+        }
+        cpu.barrier(base + 192, nprocs);
+        let _ = cpu.os_call(OsCall::Close { fd });
+    }
+}
+
+fn run_chaos(nprocs: u16, batch_depth: usize, filter: bool) -> RunReport {
+    let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2)).prepare_kernel(|k| {
+        k.create_file("/chaos", FileData::Synthetic { len: 96 * 1024 });
+    });
+    for p in 0..nprocs {
+        b = b.add_process(chaos_process(p as u64 * 6151 + 3, nprocs));
+    }
+    b.config_mut().backend.mode = EngineMode::Pipelined;
+    b.config_mut().backend.timer_interval = Some(500_000);
+    b.config_mut().backend.deadlock_ms = 10_000;
+    b.config_mut().backend.batch_depth = batch_depth;
+    b.config_mut().filter = filter;
+    b.run()
+}
+
+fn assert_bit_identical(off: &BackendStats, on: &BackendStats, what: &str) {
+    let bytes = |s: &BackendStats| format!("{s:#?}").into_bytes();
+    assert_eq!(
+        bytes(off),
+        bytes(on),
+        "{what}: BackendStats with the filter on are not byte-identical \
+         to the filter-off run"
+    );
+}
+
+#[test]
+fn filtering_is_bit_identical_and_actually_filters() {
+    for depth in [1usize, 8, 32] {
+        let off = run_chaos(3, depth, false);
+        let on = run_chaos(3, depth, true);
+        assert_bit_identical(&off.backend, &on.backend, &format!("depth {depth}"));
+        let filtered: u64 = on.frontends.iter().map(|f| f.refs_filtered).sum();
+        assert!(filtered > 0, "depth {depth}: the filter never engaged");
+        // Both sides agree the replayed references are events: frontend
+        // event counts must match the unfiltered run too.
+        for (pid, (a, b)) in off.frontends.iter().zip(&on.frontends).enumerate() {
+            assert_eq!(
+                a.events, b.events,
+                "frontend event count differs, pid {pid}"
+            );
+            assert_eq!(a.os_calls, b.os_calls, "os_call count differs, pid {pid}");
+        }
+        assert_eq!(
+            off.fs_write_bytes, on.fs_write_bytes,
+            "fs activity differs at depth {depth}"
+        );
+    }
+}
+
+#[test]
+fn context_switch_migration_forces_mirror_refresh() {
+    // 5 processes on 4 CPUs: the ready queue and dispatch (install) are
+    // exercised, every install bumps the target CPU's epoch, and the
+    // migrated frontends must observe stale epochs and refresh.
+    let off = run_chaos(5, 8, false);
+    let on = run_chaos(5, 8, true);
+    assert_bit_identical(&off.backend, &on.backend, "oversubscribed");
+    let refreshes: u64 = on.frontends.iter().map(|f| f.epoch_refreshes).sum();
+    assert!(
+        refreshes > 0,
+        "context switches must force slow-path mirror refreshes"
+    );
+    assert!(
+        on.frontends.iter().map(|f| f.refs_filtered).sum::<u64>() > 0,
+        "filter must still engage between switches"
+    );
+}
+
+/// Reader/writer ping-pong over one shared line: the writer's directory
+/// invalidation of the reader's mirrored copy must bump the reader's
+/// epoch and force a refresh before its next prediction.
+fn pingpong_process(role: usize) -> impl FnMut(&mut CpuCtx) + Send {
+    move |cpu: &mut CpuCtx| {
+        let seg = cpu.shmget(0xBEEF, 4096);
+        let base = cpu.shmat(seg);
+        for _ in 0..20 {
+            if role == 0 {
+                // Reader: warm the line into both the real L1 and the
+                // mirror, so later reads are predicted (and filtered).
+                for _ in 0..50 {
+                    cpu.load(base, 8);
+                }
+            } else {
+                // Writer: take the line exclusive, invalidating the
+                // reader's copy (and, via the epoch, its mirror).
+                cpu.store(base, 8);
+                cpu.compute(200);
+            }
+            cpu.barrier(base + 256, 2);
+        }
+        cpu.barrier(base + 256, 2);
+    }
+}
+
+fn run_pingpong(filter: bool) -> RunReport {
+    let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2));
+    for role in 0..2 {
+        b = b.add_process(pingpong_process(role));
+    }
+    b.config_mut().backend.batch_depth = 8;
+    b.config_mut().backend.deadlock_ms = 10_000;
+    b.config_mut().filter = filter;
+    b.run()
+}
+
+#[test]
+fn directory_invalidation_of_a_mirrored_line_forces_refresh() {
+    let off = run_pingpong(false);
+    let on = run_pingpong(true);
+    assert_bit_identical(&off.backend, &on.backend, "pingpong");
+    assert!(
+        on.frontends[0].refs_filtered > 0,
+        "the reader's repeated loads must be filtered"
+    );
+    assert!(
+        on.frontends[0].epoch_refreshes > 0,
+        "each invalidation must force the reader's mirror to refresh"
+    );
+}
+
+/// Touch an mmapped region (first-touch placement fills the page tables
+/// and the mirrors), unmap it, remap and touch again: the unmap must
+/// refresh every mirror so no stale translation or line predicts a hit.
+fn remap_process() -> impl FnMut(&mut CpuCtx) + Send {
+    move |cpu: &mut CpuCtx| {
+        for _ in 0..4 {
+            let region = cpu.mmap("/data", 4 * 4096).expect("mmap");
+            // Two passes: the second is mirror-hot and filterable.
+            cpu.touch_range(region, 4 * 4096, 64, false);
+            cpu.touch_range(region, 4 * 4096, 64, true);
+            cpu.munmap(region, 4 * 4096).expect("munmap");
+        }
+    }
+}
+
+#[test]
+fn page_remap_under_first_touch_forces_refresh() {
+    let run = |filter: bool| {
+        let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2)).prepare_kernel(|k| {
+            k.create_file("/data", FileData::Synthetic { len: 4 * 4096 });
+        });
+        b = b.add_process(remap_process());
+        b.config_mut().backend.batch_depth = 8;
+        b.config_mut().backend.deadlock_ms = 10_000;
+        b.config_mut().filter = filter;
+        b.run()
+    };
+    let off = run(false);
+    let on = run(true);
+    assert_bit_identical(&off.backend, &on.backend, "remap");
+    assert!(
+        on.frontends[0].refs_filtered > 0,
+        "the second touch pass must be filtered"
+    );
+    assert!(
+        on.frontends[0].epoch_refreshes > 0,
+        "every unmap must force a slow-path mirror refresh"
+    );
+}
+
+#[test]
+fn filter_composes_with_serialized_mode_and_sampling() {
+    // The filter must not care how the engine schedules hosts or how
+    // coarse the interleaving is: serialized mode and sampled references
+    // stay bit-identical too.
+    let run = |filter: bool| {
+        let mut b = SimBuilder::new(ArchConfig::simple_smp(2)).prepare_kernel(|k| {
+            k.create_file("/chaos", FileData::Synthetic { len: 96 * 1024 });
+        });
+        for p in 0..2 {
+            b = b.add_process(chaos_process(p as u64 + 41, 2));
+        }
+        b.config_mut().backend.mode = EngineMode::Serialized;
+        b.config_mut().backend.batch_depth = 4;
+        b.config_mut().backend.deadlock_ms = 10_000;
+        b.config_mut().sample_period = 3;
+        b.config_mut().filter = filter;
+        b.run()
+    };
+    let off = run(false);
+    let on = run(true);
+    assert_bit_identical(&off.backend, &on.backend, "serialized+sampled");
+    assert!(on.frontends.iter().map(|f| f.refs_filtered).sum::<u64>() > 0);
+}
