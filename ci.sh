@@ -17,8 +17,13 @@ cargo run --release -q -p compass-bench --bin report_obs -- target/obs-smoke >/d
 cargo run --release -q --example quickstart >target/quickstart-base.out
 COMPASS_FILTER=1 cargo run --release -q --example quickstart >target/quickstart-filter.out
 diff -u target/quickstart-base.out target/quickstart-filter.out
-# Clippy over both filter-relevant feature combinations: default and with
-# the per-step invariant layer (which adds the mirror/epoch assertions).
+# Shard smoke: the node-partitioned parallel backend must not change a
+# single printed statistic either — workers=4 diffs clean against the
+# single-threaded engine.
+COMPASS_WORKERS=4 cargo run --release -q --example quickstart >target/quickstart-shard.out
+diff -u target/quickstart-base.out target/quickstart-shard.out
+# Clippy over both feature combinations: default and with the per-step
+# invariant layer (which adds the mirror/epoch and shard assertions).
 cargo clippy --all-targets --workspace -- -D warnings
 cargo clippy --all-targets --workspace --features check-invariants -- -D warnings
 cargo fmt --all --check

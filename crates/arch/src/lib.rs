@@ -32,6 +32,7 @@ pub mod directory;
 pub mod filter;
 pub mod hierarchy;
 pub mod interconnect;
+pub mod shard;
 pub mod stats;
 
 pub use cache::{Cache, LineState};
@@ -40,4 +41,5 @@ pub use directory::{DirEntry, Directory};
 pub use filter::L1Mirror;
 pub use hierarchy::{Access, AccessResult, Hierarchy};
 pub use interconnect::{Interconnect, Topology};
+pub use shard::{EvictHint, NodeSlice, PrivateAccess, PrivateOutcome, SliceArena};
 pub use stats::{AccessClass, MemStats};

@@ -1,0 +1,663 @@
+//! Node-partitioned memory-system slices for the sharded backend.
+//!
+//! The hierarchy's mutable state is split by home node: each
+//! [`NodeSlice`] owns the L1/L2 caches of its node's CPUs, the node bus,
+//! the memory controller, the COMA attraction memory, a *slice
+//! directory* holding entries for lines only this node has ever
+//! referenced, and a private [`MemStats`] block. Slices live in a
+//! [`SliceArena`] shared (via `Arc`) between the engine thread and the
+//! shard workers.
+//!
+//! **Ownership protocol** (enforced by the backend engine, not the type
+//! system): a slice is touched either by the engine thread — while no
+//! worker job for that node is in flight — or by the single worker that
+//! owns the node, never both at once. Cross-thread exclusion comes from
+//! the engine's dispatch/retire accounting; the arena only provides the
+//! raw cells.
+//!
+//! [`NodeSlice::access_private`] is the *private projection* of
+//! [`Hierarchy::access`](crate::Hierarchy::access): the exact same
+//! algorithm, specialised to an access whose home is the accessing
+//! node and whose line has never been referenced from any other node.
+//! Under those conditions every interconnect send is a self-send (which
+//! [`Interconnect::send`](crate::interconnect::Interconnect::send)
+//! charges zero for and does not record), every directory participant is
+//! a same-node CPU, and every memory-controller acquisition is local —
+//! so the projection touches only slice-owned state and returns
+//! bit-identical latencies and statistics contributions.
+
+use crate::bus::BusyResource;
+use crate::cache::{Cache, LineState};
+use crate::config::{ArchConfig, LatencyParams, MemSysKind};
+use crate::directory::{Directory, Source};
+use crate::stats::MemStats;
+use compass_isa::Cycles;
+use compass_mem::PAddr;
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+/// A coherence-cache eviction whose line was not in the slice directory:
+/// the line is global, so the replacement hint must be applied to the
+/// global directory by the engine thread when the access retires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictHint {
+    /// Coherence line index of the victim.
+    pub line: u64,
+    /// Evicting CPU (global index).
+    pub cpu: u16,
+    /// Modified victim (directory counts a writeback).
+    pub dirty: bool,
+}
+
+/// What one private access produced (the worker's `Done` payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrivateOutcome {
+    /// Total latency in cycles — identical to what
+    /// [`Hierarchy::access`](crate::Hierarchy::access) would return.
+    pub latency: Cycles,
+    /// Served by the L1.
+    pub l1_hit: bool,
+    /// Bitmask of global CPU indices whose private cache state this
+    /// access changed from the outside (mirror-epoch victims).
+    pub victims: u64,
+    /// Eviction of a globally-known line, to apply at retire.
+    pub evict_hint: Option<EvictHint>,
+}
+
+/// One access as a worker receives it.
+#[derive(Debug, Clone, Copy)]
+pub struct PrivateAccess {
+    /// Accessing CPU (global index; must belong to the slice's node).
+    pub cpu: usize,
+    /// Physical address.
+    pub paddr: PAddr,
+    /// Store / read-modify-write.
+    pub write: bool,
+    /// Attribution class index (0 user, 1 kernel, 2 interrupt).
+    pub class: usize,
+    /// Global simulated time the access starts.
+    pub now: Cycles,
+}
+
+/// One node's share of the memory system.
+pub struct NodeSlice {
+    /// Node index this slice models.
+    pub node: usize,
+    /// First global CPU index on the node.
+    pub first_cpu: usize,
+    kind: MemSysKind,
+    lat: LatencyParams,
+    coh_shift: u32,
+    l1_line: u32,
+    /// Per-CPU L1s (indexed by `cpu - first_cpu`).
+    pub l1: Vec<Cache>,
+    /// Per-CPU L2s (empty when the architecture has no L2).
+    pub l2: Vec<Cache>,
+    /// COMA attraction memory (None unless `kind == Coma`).
+    pub am: Option<Cache>,
+    /// Node bus.
+    pub bus: BusyResource,
+    /// Memory controller.
+    pub mem: BusyResource,
+    /// Slice directory: entries for lines only this node ever referenced.
+    pub dir: Directory,
+    /// Statistics accumulated by private accesses (merged into the
+    /// hierarchy's totals at end of run).
+    pub stats: MemStats,
+}
+
+impl NodeSlice {
+    /// Builds one node's slice from a validated configuration.
+    pub(crate) fn new(cfg: &ArchConfig, node: usize) -> Self {
+        let cpn = cfg.cpus_per_node;
+        let l1 = (0..cpn).map(|_| Cache::new(cfg.l1)).collect();
+        let l2 = match cfg.l2 {
+            Some(g) => (0..cpn).map(|_| Cache::new(g)).collect(),
+            None => Vec::new(),
+        };
+        let am = match (cfg.kind, cfg.attraction) {
+            (MemSysKind::Coma, Some(g)) => Some(Cache::new(g)),
+            _ => None,
+        };
+        NodeSlice {
+            node,
+            first_cpu: node * cpn,
+            kind: cfg.kind,
+            lat: cfg.lat,
+            coh_shift: cfg.coherence_line().trailing_zeros(),
+            l1_line: cfg.l1.line,
+            l1,
+            l2,
+            am,
+            bus: BusyResource::new(),
+            mem: BusyResource::new(),
+            dir: Directory::new(),
+            stats: MemStats::default(),
+        }
+    }
+
+    #[inline]
+    fn coh_line_size(&self) -> u32 {
+        1 << self.coh_shift
+    }
+
+    #[inline]
+    fn local(&self, cpu: usize) -> usize {
+        debug_assert_eq!(
+            cpu / self.l1.len().max(1),
+            self.node,
+            "cpu {cpu} not on node {}",
+            self.node
+        );
+        cpu - self.first_cpu
+    }
+
+    /// Invalidate every L1 subline of a coherence line at `cpu`.
+    fn l1_back_invalidate(&mut self, cpu: usize, coh: u64) {
+        let sublines = (self.coh_line_size() / self.l1_line) as u64;
+        let base = coh * sublines;
+        let lc = self.local(cpu);
+        for s in 0..sublines {
+            self.l1[lc].invalidate(base + s);
+        }
+    }
+
+    /// Invalidate a coherence line from a CPU's whole private hierarchy.
+    fn invalidate_at_cpu(&mut self, cpu: usize, coh: u64, victims: &mut u64) {
+        self.l1_back_invalidate(cpu, coh);
+        let lc = self.local(cpu);
+        if !self.l2.is_empty() {
+            self.l2[lc].invalidate(coh);
+        }
+        self.stats.invalidations_delivered += 1;
+        *victims |= 1 << cpu;
+    }
+
+    /// Fill a coherence line into a CPU's L2 (when present), routing the
+    /// victim's replacement hint to the slice directory or — for a
+    /// global victim line — into the retire-time hint.
+    fn fill_l2(
+        &mut self,
+        cpu: usize,
+        coh: u64,
+        state: LineState,
+        now: Cycles,
+        victims: &mut u64,
+        hint: &mut Option<EvictHint>,
+    ) {
+        if self.l2.is_empty() {
+            return;
+        }
+        let lc = self.local(cpu);
+        if let Some((victim, vstate)) = self.l2[lc].insert(coh, state) {
+            self.l1_back_invalidate(cpu, victim);
+            *victims |= 1 << cpu;
+            self.dir_evict_or_hint(victim, cpu as u16, vstate.dirty(), hint);
+            if vstate.dirty() {
+                // Posted writeback: victim data drains via the local
+                // controller (this node is `node_of(cpu)`).
+                self.mem.acquire(now, self.lat.mem_access / 2);
+            }
+        }
+    }
+
+    /// Fill the touched L1 subline.
+    fn fill_l1(&mut self, cpu: usize, paddr: PAddr, state: LineState) {
+        let lc = self.local(cpu);
+        let idx = self.l1[lc].line_of(paddr.0);
+        if self.l1[lc].peek(idx).is_none() {
+            let _ = self.l1[lc].insert(idx, state);
+        } else {
+            self.l1[lc].set_state(idx, state);
+        }
+    }
+
+    /// Owner-side downgrade M→S after a read forward.
+    fn l2_downgrade(&mut self, owner: usize, coh: u64, victims: &mut u64) {
+        *victims |= 1 << owner;
+        let lo = self.local(owner);
+        if self.l2.is_empty() {
+            if self.l1[lo].peek(coh).is_some() {
+                self.l1[lo].set_state(coh, LineState::Shared);
+            }
+        } else {
+            if self.l2[lo].peek(coh).is_some() {
+                self.l2[lo].set_state(coh, LineState::Shared);
+            }
+            let sublines = (self.coh_line_size() / self.l1_line) as u64;
+            let base = coh * sublines;
+            for s in 0..sublines {
+                if self.l1[lo].peek(base + s).is_some() {
+                    self.l1[lo].set_state(base + s, LineState::Shared);
+                }
+            }
+        }
+    }
+
+    /// Eviction replacement hint: slice directory when the line is
+    /// node-private, retire-time hint when it is globally known.
+    fn dir_evict_or_hint(
+        &mut self,
+        line: u64,
+        cpu: u16,
+        dirty: bool,
+        hint: &mut Option<EvictHint>,
+    ) {
+        if self.dir.contains(line) {
+            self.dir.evict(line, cpu, dirty);
+        } else {
+            debug_assert!(hint.is_none(), "two global evictions in one access");
+            *hint = Some(EvictHint { line, cpu, dirty });
+        }
+    }
+
+    /// Same-node projection of the hierarchy's 3-hop forward cost: both
+    /// self-sends are free, leaving the owner cache lookup (Simple mode
+    /// keeps its idealised flat cost).
+    fn forward_cost(&self) -> Cycles {
+        if self.kind == MemSysKind::Simple {
+            self.lat.mem_access
+        } else {
+            self.lat.l2_hit
+        }
+    }
+
+    /// Performs one *private* access: `home == node`, the line was never
+    /// referenced from another node (not in the global directory), no
+    /// trace recorder. The latency and statistics contributions are
+    /// bit-identical to [`Hierarchy::access`](crate::Hierarchy::access)
+    /// under those preconditions — see the module docs for why every
+    /// elided interconnect send is exactly zero-cost and stateless.
+    pub fn access_private(&mut self, req: PrivateAccess) -> PrivateOutcome {
+        let PrivateAccess {
+            cpu,
+            paddr,
+            write,
+            class: ci,
+            now,
+        } = req;
+        let mut victims = 0u64;
+        let mut hint = None;
+        self.stats.accesses[ci] += 1;
+
+        let lat = self.lat;
+        let coh = paddr.0 >> self.coh_shift;
+        let mut total = lat.l1_hit;
+        let lc = self.local(cpu);
+
+        // ---- L1 ----
+        let l1idx = self.l1[lc].line_of(paddr.0);
+        let l1_state = self.l1[lc].probe(l1idx);
+        match l1_state {
+            Some(_) if !write => {
+                self.stats.l1_hits[ci] += 1;
+                self.stats.latency[ci] += total;
+                return PrivateOutcome {
+                    latency: total,
+                    l1_hit: true,
+                    victims,
+                    evict_hint: hint,
+                };
+            }
+            Some(st) if st.writable() => {
+                if st == LineState::Exclusive {
+                    self.l1[lc].set_state(l1idx, LineState::Modified);
+                    if !self.l2.is_empty() {
+                        self.l2[lc].set_state(coh, LineState::Modified);
+                    }
+                }
+                self.stats.l1_hits[ci] += 1;
+                self.stats.latency[ci] += total;
+                return PrivateOutcome {
+                    latency: total,
+                    l1_hit: true,
+                    victims,
+                    evict_hint: hint,
+                };
+            }
+            _ => {}
+        }
+        let l1_upgrade = l1_state.is_some();
+
+        // ---- L2 ----
+        let mut l2_upgrade = false;
+        if !self.l2.is_empty() {
+            match self.l2[lc].probe(coh) {
+                Some(st) if !write => {
+                    total += lat.l2_hit;
+                    self.stats.l2_hits[ci] += 1;
+                    self.fill_l1(cpu, paddr, st);
+                    self.stats.latency[ci] += total;
+                    return PrivateOutcome {
+                        latency: total,
+                        l1_hit: false,
+                        victims,
+                        evict_hint: hint,
+                    };
+                }
+                Some(st) if st.writable() => {
+                    total += lat.l2_hit;
+                    self.stats.l2_hits[ci] += 1;
+                    self.l2[lc].set_state(coh, LineState::Modified);
+                    self.fill_l1(cpu, paddr, LineState::Modified);
+                    self.stats.latency[ci] += total;
+                    return PrivateOutcome {
+                        latency: total,
+                        l1_hit: false,
+                        victims,
+                        evict_hint: hint,
+                    };
+                }
+                Some(_) => {
+                    total += lat.l2_hit;
+                    l2_upgrade = true;
+                }
+                None => {}
+            }
+        }
+
+        let upgrade = if self.l2.is_empty() {
+            l1_upgrade
+        } else {
+            l2_upgrade
+        };
+
+        // ---- Node level (home == mynode: always a local access) ----
+        self.stats.local_accesses[ci] += 1;
+
+        let simple = self.kind == MemSysKind::Simple;
+        if !simple {
+            total += self.bus.acquire(now + total, lat.bus_occupancy);
+        }
+
+        // ---- COMA attraction memory (data fetches only) ----
+        let mut am_hit = false;
+        if self.kind == MemSysKind::Coma
+            && !upgrade
+            && !write
+            && self.am.as_mut().expect("COMA slice").probe(coh).is_some()
+        {
+            am_hit = true;
+            total += lat.am_hit;
+            self.stats.am_hits[ci] += 1;
+        }
+
+        if am_hit {
+            // Still a directory read so sharing stays exact; the line is
+            // node-private, so the entry (and any dirty owner) is local.
+            let outcome = self.dir.read(coh, cpu as u16);
+            if let Some(owner) = outcome.downgrade {
+                self.l2_downgrade(owner as usize, coh, &mut victims);
+                total += lat.net_fixed;
+                self.stats.forwards += 1;
+            }
+            let grant = if outcome.grant_exclusive {
+                LineState::Exclusive
+            } else {
+                LineState::Shared
+            };
+            self.fill_l2(cpu, coh, grant, now + total, &mut victims, &mut hint);
+            self.fill_l1(cpu, paddr, grant);
+            self.stats.latency[ci] += total;
+            return PrivateOutcome {
+                latency: total,
+                l1_hit: false,
+                victims,
+                evict_hint: hint,
+            };
+        }
+
+        // ---- Directory transaction at the (local) home node ----
+        // The requester→home send is a self-send: zero cost, no state.
+        if !simple {
+            total += lat.dir_lookup;
+        }
+
+        let grant = if write {
+            let outcome = self.dir.write(coh, cpu as u16);
+            let n_inv = outcome.invalidate.len();
+            if n_inv > 0 && !simple {
+                total += lat.invalidate + 4 * (n_inv as u64 - 1);
+            }
+            for victim in outcome.invalidate {
+                self.invalidate_at_cpu(victim as usize, coh, &mut victims);
+            }
+            // A COMA write purges AM copies on *other* nodes; a private
+            // line was never filled into another node's AM, so the purge
+            // loop is a no-op here.
+            match outcome.source {
+                None => {}
+                Some(Source::Memory) => {
+                    if simple {
+                        total += lat.mem_access;
+                    } else {
+                        // home→requester data send is a self-send: free.
+                        total += self.mem.acquire(now + total, lat.mem_access);
+                    }
+                }
+                Some(Source::Cache(_owner)) => {
+                    total += self.forward_cost();
+                    self.stats.forwards += 1;
+                }
+            }
+            LineState::Modified
+        } else {
+            let outcome = self.dir.read(coh, cpu as u16);
+            match outcome.source {
+                Source::Memory => {
+                    if simple {
+                        total += lat.mem_access;
+                    } else {
+                        total += self.mem.acquire(now + total, lat.mem_access);
+                    }
+                }
+                Source::Cache(_owner) => {
+                    total += self.forward_cost();
+                    self.stats.forwards += 1;
+                    if let Some(owner) = outcome.downgrade {
+                        self.l2_downgrade(owner as usize, coh, &mut victims);
+                    }
+                }
+            }
+            if outcome.grant_exclusive {
+                LineState::Exclusive
+            } else {
+                LineState::Shared
+            }
+        };
+
+        // ---- Fill ----
+        if upgrade {
+            if self.l2.is_empty() {
+                self.l1[lc].set_state(l1idx, LineState::Modified);
+            } else {
+                self.l2[lc].set_state(coh, LineState::Modified);
+                self.fill_l1(cpu, paddr, LineState::Modified);
+            }
+        } else if self.l2.is_empty() {
+            if let Some((victim, vstate)) = self.l1[lc].insert(l1idx, grant) {
+                self.dir_evict_or_hint(victim, cpu as u16, vstate.dirty(), &mut hint);
+            }
+        } else {
+            self.fill_l2(cpu, coh, grant, now + total, &mut victims, &mut hint);
+            self.fill_l1(cpu, paddr, grant);
+            if self.kind == MemSysKind::Coma {
+                let am = self.am.as_mut().expect("COMA slice");
+                if am.peek(coh).is_none() {
+                    if let Some((_victim, vstate)) = am.insert(coh, grant) {
+                        if vstate.dirty() {
+                            self.mem.acquire(now + total, lat.mem_access / 2);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.stats.latency[ci] += total;
+        PrivateOutcome {
+            latency: total,
+            l1_hit: false,
+            victims,
+            evict_hint: hint,
+        }
+    }
+}
+
+struct SliceCell(UnsafeCell<NodeSlice>);
+
+// Safety: cross-thread access is mediated by the engine's dispatch/retire
+// protocol (one owner per slice at any instant); the cell itself only
+// stores plain data.
+unsafe impl Sync for SliceCell {}
+unsafe impl Send for SliceCell {}
+
+/// Shared storage for all node slices.
+pub struct SliceArena {
+    cells: Box<[SliceCell]>,
+}
+
+impl SliceArena {
+    pub(crate) fn new(cfg: &ArchConfig) -> Arc<Self> {
+        let cells = (0..cfg.nodes)
+            .map(|n| SliceCell(UnsafeCell::new(NodeSlice::new(cfg, n))))
+            .collect();
+        Arc::new(SliceArena { cells })
+    }
+
+    /// Number of slices (nodes).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True for a zero-node arena (never constructed in practice).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Raw pointer to a slice's state.
+    pub(crate) fn get_raw(&self, node: usize) -> *mut NodeSlice {
+        self.cells[node].0.get()
+    }
+
+    /// Mutable access to one node's slice.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold exclusive logical ownership of node `node` —
+    /// either it is the worker the node is assigned to and a job for the
+    /// node is in flight, or it is the engine thread and no job for the
+    /// node is in flight.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, node: usize) -> &mut NodeSlice {
+        unsafe { &mut *self.get_raw(node) }
+    }
+
+    /// Shared access to one node's slice.
+    ///
+    /// # Safety
+    ///
+    /// Same ownership requirement as [`SliceArena::slice_mut`].
+    pub unsafe fn slice_ref(&self, node: usize) -> &NodeSlice {
+        unsafe { &*self.get_raw(node) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{Access, Hierarchy};
+    use crate::stats::AccessClass;
+
+    /// Drives the same access stream through a plain sequential
+    /// `Hierarchy` and through a `Hierarchy` that routes every eligible
+    /// access via `access_private` (with immediate retire of the evict
+    /// hint), then compares latencies and merged statistics bit for bit.
+    #[test]
+    fn private_projection_matches_sequential_access() {
+        for cfg in [
+            ArchConfig::ccnuma(2, 2),
+            ArchConfig::coma(2, 1),
+            ArchConfig::sw_dsm(2, 2),
+            ArchConfig::simple_smp(4),
+        ] {
+            let mut seq = Hierarchy::new(cfg.clone());
+            let mut shd = Hierarchy::new(cfg.clone());
+            let arena = shd.share_slices();
+            let ncpus = cfg.ncpus();
+            let mut x: u64 = 0x243f_6a88_85a3_08d3;
+            for i in 0..4_000u64 {
+                // xorshift64* scramble: mixed private/shared footprint.
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                let r = x.wrapping_mul(0x2545_f491_4f6c_dd1d);
+                let cpu = (r % ncpus as u64) as usize;
+                let node = cfg.node_of_cpu(cpu);
+                // 3/4 of references go to a per-node private region, the
+                // rest to a shared region homed on node 0.
+                let (paddr, home) = if r & 0b11 != 0 {
+                    (
+                        PAddr(0x10_0000 * (node as u64 + 1) + (r >> 8) % 0x4000),
+                        node,
+                    )
+                } else {
+                    (PAddr(0x800_0000 + (r >> 8) % 0x2000), 0)
+                };
+                let acc = Access {
+                    write: r & 0x10 != 0,
+                    class: AccessClass::User,
+                };
+                let now = i * 64;
+                let want = seq.access(cpu, paddr, acc, home, now);
+                let coh = shd.coh_line(paddr);
+                let private = home == node && !shd.line_is_global(coh);
+                let got = if private {
+                    let out = unsafe { arena.slice_mut(node) }.access_private(PrivateAccess {
+                        cpu,
+                        paddr,
+                        write: acc.write,
+                        class: acc.class.index(),
+                        now,
+                    });
+                    if let Some(h) = out.evict_hint {
+                        shd.apply_evict_hint(h);
+                    }
+                    // Sequential victims (dedup'd) must match the mask.
+                    let mut want_mask = 0u64;
+                    for &v in seq.epoch_victims() {
+                        want_mask |= 1 << v;
+                    }
+                    assert_eq!(out.victims, want_mask, "victim mask diverged at step {i}");
+                    (out.latency, out.l1_hit)
+                } else {
+                    let res = shd.access(cpu, paddr, acc, home, now);
+                    (res.latency, res.l1_hit)
+                };
+                assert_eq!(
+                    (want.latency, want.l1_hit),
+                    got,
+                    "latency diverged at step {i} (cpu {cpu}, paddr {paddr:?}, \
+                     home {home}, private {private})"
+                );
+            }
+            assert_eq!(
+                *seq.stats(),
+                shd.stats_merged(),
+                "merged MemStats diverged for {:?}",
+                cfg.kind
+            );
+            assert_eq!(
+                seq.dir_stats(),
+                shd.dir_stats(),
+                "merged DirStats diverged for {:?}",
+                cfg.kind
+            );
+            for cpu in 0..ncpus {
+                assert_eq!(seq.l1_stats(cpu), shd.l1_stats(cpu));
+                assert_eq!(seq.l2_stats(cpu), shd.l2_stats(cpu));
+            }
+            shd.check_invariants().unwrap();
+            seq.check_invariants().unwrap();
+        }
+    }
+}

@@ -74,6 +74,13 @@ pub struct BackendConfig {
     /// accounting makes results identical at any depth (see the engine
     /// module docs), so this is purely a host-performance knob.
     pub batch_depth: usize,
+    /// Backend worker threads the architecture model is sharded across
+    /// (1 = the classic single-threaded engine; N > 1 spawns N-1 shard
+    /// workers that run node-private memory accesses, partitioned by
+    /// home node). The classifier/retire protocol keeps `BackendStats`
+    /// bit-identical at every worker count (see the engine module docs),
+    /// so — like `batch_depth` — this is purely a host-performance knob.
+    pub workers: usize,
 }
 
 impl BackendConfig {
@@ -95,6 +102,7 @@ impl BackendConfig {
             deadlock_ms: 10_000,
             irq_cpu: 0,
             batch_depth: 8,
+            workers: 1,
         }
     }
 
@@ -123,6 +131,12 @@ impl BackendConfig {
         }
         if self.batch_depth == 0 {
             return Err("batch_depth must be at least 1".into());
+        }
+        if self.workers == 0 {
+            return Err("workers must be at least 1".into());
+        }
+        if self.workers > 1 && self.mode == EngineMode::Serialized {
+            return Err("serialized mode requires workers = 1".into());
         }
         Ok(())
     }
@@ -168,6 +182,22 @@ mod tests {
     fn zero_batch_depth_rejected() {
         let mut c = BackendConfig::new(ArchConfig::simple_smp(2));
         c.batch_depth = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let mut c = BackendConfig::new(ArchConfig::simple_smp(2));
+        c.workers = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serialized_mode_refuses_multiple_workers() {
+        let mut c = BackendConfig::new(ArchConfig::ccnuma(2, 2));
+        c.workers = 4;
+        c.validate().unwrap();
+        c.mode = EngineMode::Serialized;
         assert!(c.validate().is_err());
     }
 }

@@ -27,7 +27,10 @@
 //!   data behind Table 1);
 //! * [`engine`] — the scan/take/simulate/reply loop with the
 //!   least-execution-time pickup rule and its serialized ("uniprocessor
-//!   host") and pipelined ("SMP host") modes.
+//!   host") and pipelined ("SMP host") modes;
+//! * `shard` — worker threads that run node-private memory accesses when
+//!   `BackendConfig::workers > 1`, bit-identical to the single-threaded
+//!   engine by construction.
 
 pub mod config;
 pub mod devices;
@@ -35,6 +38,7 @@ pub mod engine;
 pub mod error;
 pub mod locks;
 pub mod sched;
+pub(crate) mod shard;
 pub mod stats;
 pub mod tasks;
 pub mod trace;

@@ -1,0 +1,157 @@
+//! **Shard-worker throughput report** — frontend events/second versus
+//! backend worker count, as machine-readable JSON (the record behind
+//! `BENCH_shard.json`).
+//!
+//! Two profiles bracket the sharded engine's design space: `sci` (the
+//! SPLASH-like relaxation kernel — dense node-private traffic, the
+//! classifier's best case) and `tpcc` (db2lite transaction processing —
+//! lock- and OS-call-heavy, constantly forcing window drains). Both run
+//! at batch depth 16 with reference filtering on, the configuration the
+//! ISSUE names. Sharding must buy host throughput without moving a
+//! single statistic; the shard test battery and simcheck's workers-twin
+//! differential prove the latter, this report records the former.
+
+use compass::runner::RunReport;
+use compass::{ArchConfig, CpuCtx, SimBuilder};
+use compass_workloads::db2lite::tpcc::{self, TerminalStats, TpccConfig};
+use compass_workloads::db2lite::{Db2Config, Db2Shared};
+use compass_workloads::sci::{self, SciConfig};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const DEPTH: usize = 16;
+
+struct Row {
+    profile: &'static str,
+    workers: usize,
+    events_per_sec: f64,
+}
+
+fn measure(profile: &'static str, workers: usize, report: RunReport) -> Row {
+    let events: u64 = report.frontends.iter().map(|f| f.events).sum();
+    Row {
+        profile,
+        workers,
+        events_per_sec: events as f64 / report.wall.as_secs_f64().max(1e-9),
+    }
+}
+
+fn run_sci(workers: usize) -> Row {
+    let cfg = SciConfig {
+        nprocs: 4,
+        rows: 48,
+        cols: 96,
+        iters: 4,
+        ..Default::default()
+    };
+    let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2));
+    for rank in 0..cfg.nprocs {
+        b = b.add_process(sci::worker(cfg, rank));
+    }
+    let c = b.config_mut();
+    c.backend.batch_depth = DEPTH;
+    c.backend.deadlock_ms = 30_000;
+    c.backend.workers = workers;
+    c.filter = true;
+    measure("sci", workers, b.run())
+}
+
+fn run_tpcc(workers: usize) -> Row {
+    const TERMINALS: u64 = 4;
+    let cfg = TpccConfig {
+        districts: 4,
+        customers: 32,
+        items: 64,
+        txns_per_terminal: 24,
+        new_order_pct: 50,
+        seed: 0xA27C,
+    };
+    let shared = Db2Shared::new(Db2Config {
+        pool_pages: 32,
+        shm_key: 0xDB2,
+    });
+    let sink = Arc::new(Mutex::new(vec![
+        TerminalStats::default();
+        TERMINALS as usize
+    ]));
+    let cust_index: Arc<Mutex<Option<Arc<compass_workloads::db2lite::index::Index>>>> =
+        Arc::new(Mutex::new(None));
+    let idx_slot = Arc::clone(&cust_index);
+    let shared_for_load = Arc::clone(&shared);
+    let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2)).prepare_kernel(move |k| {
+        *idx_slot.lock() = Some(tpcc::load(k, &shared_for_load, cfg));
+    });
+    for rank in 0..TERMINALS {
+        let idx = Arc::clone(&cust_index);
+        let shared = Arc::clone(&shared);
+        let sink = Arc::clone(&sink);
+        b = b.add_process(move |cpu: &mut CpuCtx| {
+            let index = idx.lock().clone().expect("loader ran before terminals");
+            let mut body = tpcc::terminal(Arc::clone(&shared), cfg, rank, Arc::clone(&sink), index);
+            body(cpu)
+        });
+    }
+    let c = b.config_mut();
+    c.backend.batch_depth = DEPTH;
+    c.backend.deadlock_ms = 30_000;
+    c.backend.timer_interval = Some(2_000_000);
+    c.backend.workers = workers;
+    c.filter = true;
+    measure("tpcc", workers, b.run())
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        for row in [run_sci(workers), run_tpcc(workers)] {
+            eprintln!(
+                "{:<6} workers {:>2}  {:>12.0} events/s",
+                row.profile, row.workers, row.events_per_sec
+            );
+            rows.push(row);
+        }
+    }
+    let at = |profile: &str, workers: usize| -> f64 {
+        rows.iter()
+            .find(|r| r.profile == profile && r.workers == workers)
+            .expect("measured")
+            .events_per_sec
+    };
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"profile\": \"{}\", \"workers\": {}, \"depth\": {}, \
+                 \"filter\": true, \"events_per_sec\": {:.0}, \
+                 \"speedup_vs_1\": {:.2}}}",
+                r.profile,
+                r.workers,
+                DEPTH,
+                r.events_per_sec,
+                r.events_per_sec / at(r.profile, 1)
+            )
+        })
+        .collect();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("{{");
+    println!("  \"bench\": \"shard_workers\",");
+    println!("  \"host_cpus\": {host_cpus},");
+    if host_cpus < 2 {
+        // On one hardware thread, wall time equals total CPU work, so
+        // offloading can only add overhead; the numbers below measure the
+        // protocol's oversubscription cost, not its parallel speedup.
+        println!("  \"note\": \"single-hardware-thread host: parallel speedup unobtainable; rows measure protocol overhead under timeslicing\",");
+    }
+    println!("  \"rows\": [");
+    println!("{}", entries.join(",\n"));
+    println!("  ],");
+    println!(
+        "  \"sci_speedup_4_workers\": {:.2},",
+        at("sci", 4) / at("sci", 1)
+    );
+    println!(
+        "  \"tpcc_speedup_4_workers\": {:.2}",
+        at("tpcc", 4) / at("tpcc", 1)
+    );
+    println!("}}");
+}

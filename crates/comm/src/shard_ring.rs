@@ -1,0 +1,185 @@
+//! Bounded SPSC rings between the backend engine and its shard workers.
+//!
+//! The sharded backend (see `compass-backend`'s `shard` module) moves
+//! node-private memory accesses off the engine thread: the engine posts
+//! `Job` records to the worker that owns the home node and the worker
+//! posts `Done` records back. Both directions are single-producer /
+//! single-consumer with plain-old-data payloads, so the ring is a lean
+//! cousin of [`rendezvous::EventRing`](crate::rendezvous::EventRing):
+//! two cache-padded cursors over a fixed slot array, no reply slot, no
+//! poisoning — capacity overflow is a protocol violation (the engine
+//! bounds outstanding jobs by construction) and surfaces as an `Err`
+//! for the caller to treat as fatal.
+//!
+//! Wake-ups are *not* part of the ring: both endpoints pair it with a
+//! [`Notifier`](crate::Notifier) epoch channel, exactly like the
+//! frontend event ports.
+
+use crossbeam_utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Inner<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the consumer will read.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the producer will write.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// Safety: `buf` slots are written only by the single producer at
+// positions >= head and read only by the single consumer at positions
+// < tail; the Release/Acquire cursor hand-off orders slot contents.
+unsafe impl<T: Copy + Send> Sync for Inner<T> {}
+unsafe impl<T: Copy + Send> Send for Inner<T> {}
+
+/// Producer half of a shard ring.
+pub struct ShardSender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Consumer half of a shard ring.
+pub struct ShardReceiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Creates a bounded SPSC ring for `Copy` payloads.
+///
+/// `capacity` is the maximum number of in-flight items; the engine sizes
+/// it to its own outstanding-job bound so `send` can treat "full" as a
+/// protocol violation.
+pub fn shard_ring<T: Copy + Send>(capacity: usize) -> (ShardSender<T>, ShardReceiver<T>) {
+    assert!(capacity > 0, "shard ring capacity must be positive");
+    let buf = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let inner = Arc::new(Inner {
+        buf,
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+    });
+    (
+        ShardSender {
+            inner: Arc::clone(&inner),
+        },
+        ShardReceiver { inner },
+    )
+}
+
+impl<T: Copy + Send> ShardSender<T> {
+    /// Enqueues one item; `Err(v)` when the ring is full (a protocol
+    /// violation under the engine's outstanding-job bound).
+    pub fn send(&self, v: T) -> Result<(), T> {
+        let inner = &*self.inner;
+        let tail = inner.tail.load(Ordering::Relaxed); // we own tail
+        let head = inner.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == inner.buf.len() {
+            return Err(v);
+        }
+        let slot = &inner.buf[tail % inner.buf.len()];
+        unsafe { (*slot.get()).write(v) };
+        inner.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Copy + Send> ShardReceiver<T> {
+    /// Dequeues the oldest item, if any.
+    pub fn recv(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let head = inner.head.load(Ordering::Relaxed); // we own head
+        let tail = inner.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &inner.buf[head % inner.buf.len()];
+        let v = unsafe { (*slot.get()).assume_init() };
+        inner.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(v)
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        let head = self.inner.head.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (tx, rx) = shard_ring::<u64>(4);
+        assert!(rx.recv().is_none());
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(tx.send(99), Err(99), "full ring must refuse");
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        assert!(rx.recv().is_none());
+        // Space reclaimed after consumption.
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv(), Some(7));
+    }
+
+    #[test]
+    fn wraps_many_times() {
+        let (tx, rx) = shard_ring::<u32>(3);
+        for i in 0..1000u32 {
+            tx.send(i).unwrap();
+            assert_eq!(rx.recv(), Some(i));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_transfer_is_lossless_and_ordered() {
+        const N: u64 = 200_000;
+        let (tx, rx) = shard_ring::<u64>(64);
+        let producer = thread::spawn(move || {
+            let mut i = 0;
+            while i < N {
+                if tx.send(i).is_ok() {
+                    i += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut expect = 0;
+        while expect < N {
+            if let Some(v) = rx.recv() {
+                assert_eq!(v, expect, "reordered or corrupted item");
+                expect += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+}

@@ -56,6 +56,15 @@ impl SimConfig {
         }
     }
 
+    /// Sets the backend worker-thread count (see
+    /// `BackendConfig::workers`): 1 is the classic single-threaded
+    /// engine; N > 1 shards node-private memory accesses across N - 1
+    /// worker threads with bit-identical results.
+    pub fn backend_workers(mut self, n: usize) -> Self {
+        self.backend.workers = n;
+        self
+    }
+
     /// Validates cross-component consistency.
     pub fn validate(&self) -> Result<(), String> {
         self.backend.validate()?;

@@ -91,10 +91,19 @@ pub enum Ctr {
     /// Blocking posts answered during the bounded reply spin, avoiding a
     /// full thread park.
     RingSpinsAvoidedPark,
+    /// Memory references classified node-private and run on a shard
+    /// worker (`BackendConfig::workers > 1`).
+    ShardPrivateJobs,
+    /// Engine steps that stalled on the shard window: the least candidate
+    /// was at or above an in-flight floor, or was a device task.
+    ShardStalls,
+    /// Events that had to wait for the in-flight window to drain before
+    /// running globally on the engine thread.
+    ShardStagedEvents,
 }
 
 /// Number of counters in the catalogue.
-pub const CTR_COUNT: usize = Ctr::RingSpinsAvoidedPark as usize + 1;
+pub const CTR_COUNT: usize = Ctr::ShardStagedEvents as usize + 1;
 
 impl Ctr {
     /// Every counter, in slot order.
@@ -132,6 +141,9 @@ impl Ctr {
         Ctr::FilterFlushes,
         Ctr::FilterMispredicts,
         Ctr::RingSpinsAvoidedPark,
+        Ctr::ShardPrivateJobs,
+        Ctr::ShardStalls,
+        Ctr::ShardStagedEvents,
     ];
 
     /// Stable snake_case name used in reports and JSON exports.
@@ -170,6 +182,9 @@ impl Ctr {
             Ctr::FilterFlushes => "filter_flushes",
             Ctr::FilterMispredicts => "filter_mispredicts",
             Ctr::RingSpinsAvoidedPark => "ring_spins_avoided_park",
+            Ctr::ShardPrivateJobs => "shard_private_jobs",
+            Ctr::ShardStalls => "shard_stalls",
+            Ctr::ShardStagedEvents => "shard_staged_events",
         }
     }
 }

@@ -24,14 +24,17 @@ pub struct RunOutput {
 /// the depth differentials then double as the proof that instrumentation
 /// never perturbs the simulation. `filter` sets frontend reference
 /// filtering for this run (callers pass `sc.filter` or its negation for
-/// the filter differential). A deadlock comes back as `Err` so soak runs
-/// record and shrink it instead of dying.
+/// the filter differential); `workers` likewise sets the backend
+/// shard-worker count (callers pass `sc.workers` or `1` for the
+/// workers-twin differential). A deadlock comes back as `Err` so soak
+/// runs record and shrink it instead of dying.
 pub fn run_scenario(
     sc: &Scenario,
     depth: usize,
     record: bool,
     observe: bool,
     filter: bool,
+    workers: usize,
 ) -> Result<RunOutput, RunError> {
     let mut b = sc.builder();
     let sink = if record { Some(trace::sink()) } else { None };
@@ -52,6 +55,7 @@ pub fn run_scenario(
         cfg.backend.timer_interval = Some(900_000);
     }
     cfg.filter = filter;
+    cfg.backend.workers = workers;
     if observe {
         cfg.obs = ObsConfig::full(TraceLevel::Fine);
         cfg.obs.progress_every = Some(10_000);
@@ -132,6 +136,10 @@ pub fn metamorphic_variants(sc: &Scenario) -> Vec<Scenario> {
         filter: !sc.filter,
         ..*sc
     });
+    push(Scenario {
+        workers: if sc.workers == 1 { 2 } else { 1 },
+        ..*sc
+    });
     v
 }
 
@@ -139,15 +147,16 @@ pub fn metamorphic_variants(sc: &Scenario) -> Vec<Scenario> {
 /// failed check (empty = clean).
 ///
 /// Layers: depth-1 baseline with trace recording → oracle replay →
-/// filter-toggled differential → depth {4,16,64} differentials →
-/// (timing-independent workloads only) metamorphic knob variants. The per-step invariant layer runs inside
+/// filter-toggled differential → shard-workers-twin differential → depth
+/// {4,16,64} differentials → (timing-independent workloads only)
+/// metamorphic knob variants. The per-step invariant layer runs inside
 /// every one of these when built with `--features check-invariants`.
 pub fn check_scenario(sc: &Scenario) -> Vec<String> {
     let mut failures = Vec::new();
     // The baseline runs with the full observability stack on; every other
     // run leaves it off, so the depth differentials below also prove that
     // instrumentation does not change a single statistic.
-    let base = match run_scenario(sc, 1, true, true, sc.filter) {
+    let base = match run_scenario(sc, 1, true, true, sc.filter, sc.workers) {
         Ok(out) => out,
         Err(e) => return vec![format!("depth-1 run deadlocked: {e}")],
     };
@@ -169,7 +178,7 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
     // toggled the other way must match the instrumented baseline
     // statistic for statistic. Depth 1 pins per-event rendezvous, so any
     // divergence is the filter's alone.
-    match run_scenario(sc, 1, false, false, !sc.filter) {
+    match run_scenario(sc, 1, false, false, !sc.filter, sc.workers) {
         Ok(run) => {
             for d in diff::diff_backend_stats(&base.report.backend, &run.report.backend) {
                 failures.push(format!(
@@ -180,8 +189,24 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
         }
         Err(e) => failures.push(format!("filter-toggled run deadlocked: {e}")),
     }
+    // Shard-workers differential: every scenario is rerun against its
+    // `workers = 1` twin (or, when it already is single-threaded, a
+    // 4-worker twin) and must match statistic for statistic — the
+    // node-partitioned parallel backend may change host time only.
+    let twin_workers = if sc.workers == 1 { 4 } else { 1 };
+    match run_scenario(sc, 1, false, false, sc.filter, twin_workers) {
+        Ok(run) => {
+            for d in diff::diff_backend_stats(&base.report.backend, &run.report.backend) {
+                failures.push(format!(
+                    "workers={} vs workers={}: {d}",
+                    twin_workers, sc.workers
+                ));
+            }
+        }
+        Err(e) => failures.push(format!("workers-twin run deadlocked: {e}")),
+    }
     for depth in &DEPTHS[1..] {
-        let run = match run_scenario(sc, *depth, false, false, sc.filter) {
+        let run = match run_scenario(sc, *depth, false, false, sc.filter, sc.workers) {
             Ok(out) => out,
             Err(e) => {
                 failures.push(format!("depth {depth} run deadlocked: {e}"));
@@ -195,7 +220,7 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
     if sc.workload.timing_independent() {
         let sig0 = signature(&base.report);
         for var in metamorphic_variants(sc) {
-            let run = match run_scenario(&var, 8, false, false, var.filter) {
+            let run = match run_scenario(&var, 8, false, false, var.filter, var.workers) {
                 Ok(out) => out,
                 Err(e) => {
                     failures.push(format!("metamorphic variant {var:?} deadlocked: {e}"));

@@ -112,6 +112,11 @@ pub struct Scenario {
     /// twin, so this axis proves the mirror/replay protocol bit-exact
     /// across the whole scenario space.
     pub filter: bool,
+    /// Backend shard workers (ISSUE 5). Must be results-neutral: the
+    /// check stack diffs every scenario against its `workers = 1` twin,
+    /// so this axis proves the node-partitioned parallel backend
+    /// bit-exact across the whole scenario space.
+    pub workers: usize,
 }
 
 impl Scenario {
@@ -166,6 +171,9 @@ impl Scenario {
         // Drawn last so adding the axis left every earlier draw (and thus
         // every historical seed's scenario shape) unchanged.
         let filter = rng.gen_bool(0.5);
+        // Drawn after `filter` for the same reason: seeds from before the
+        // shard-worker axis existed still generate the same scenario.
+        let workers = [1usize, 2, 4][rng.gen_range(0..3usize)];
         Scenario {
             seed,
             workload,
@@ -176,6 +184,7 @@ impl Scenario {
             preempt,
             placement,
             filter,
+            workers,
         }
     }
 
@@ -329,6 +338,12 @@ impl Scenario {
                 push(Scenario { nprocs: 1, ..*self });
                 push(Scenario {
                     nprocs: self.nprocs - 1,
+                    ..*self
+                });
+            }
+            if self.workers > 1 {
+                push(Scenario {
+                    workers: 1,
                     ..*self
                 });
             }
@@ -547,6 +562,8 @@ mod tests {
         assert!(scenarios.iter().any(|s| s.preempt));
         assert!(scenarios.iter().any(|s| s.filter));
         assert!(scenarios.iter().any(|s| !s.filter));
+        assert!(scenarios.iter().any(|s| s.workers == 1));
+        assert!(scenarios.iter().any(|s| s.workers > 1));
     }
 
     #[test]

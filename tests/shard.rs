@@ -1,0 +1,235 @@
+//! The sharded backend (ISSUE 5) end to end: with
+//! `BackendConfig::workers > 1` node-private memory accesses run on shard
+//! worker threads, and `BackendStats` must stay **bit-identical** to the
+//! single-threaded engine — for every worker count, batch depth, and
+//! filter setting, on both a scientific kernel and the web-serving
+//! workload. The edge cases the window protocol must survive are pinned
+//! separately: cross-node invalidations landing while private accesses
+//! fly, process migration mid-run, and deadlock reporting at every worker
+//! count.
+
+use compass::{ArchConfig, CpuCtx, DeadlockKind, RunError, RunReport, SimBuilder};
+use compass_backend::BackendStats;
+use compass_workloads::httplite::{
+    generate_fileset, generate_trace, FileSetConfig, ServerConfig, SharedTickets, TracePlayer,
+};
+use compass_workloads::sci::{self, SciConfig};
+use std::sync::Arc;
+
+fn assert_bit_identical(base: &BackendStats, sharded: &BackendStats, what: &str) {
+    let bytes = |s: &BackendStats| format!("{s:#?}").into_bytes();
+    assert_eq!(
+        bytes(base),
+        bytes(sharded),
+        "{what}: BackendStats with shard workers are not byte-identical \
+         to the workers=1 run"
+    );
+}
+
+fn run_sci(workers: usize, depth: usize, filter: bool) -> RunReport {
+    let cfg = SciConfig {
+        nprocs: 4,
+        rows: 8,
+        cols: 48,
+        iters: 3,
+        shm_key: 0x5C1,
+    };
+    let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2));
+    for rank in 0..cfg.nprocs {
+        b = b.add_process(sci::worker(cfg, rank));
+    }
+    let c = b.config_mut();
+    c.backend.deadlock_ms = 20_000;
+    c.backend.batch_depth = depth;
+    c.backend.workers = workers;
+    c.filter = filter;
+    b.run()
+}
+
+fn run_httplite(workers: usize, depth: usize, filter: bool) -> RunReport {
+    let fileset = FileSetConfig { dirs: 1 };
+    let requests = 40u32;
+    let trace = generate_trace(fileset, requests, 0x5EC);
+    let tickets = SharedTickets::new(requests as u64);
+    let scfg = ServerConfig::default();
+    let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2))
+        .prepare_kernel(move |k| {
+            generate_fileset(k, fileset);
+        })
+        .traffic(TracePlayer::new(trace, 3, scfg.port));
+    for _ in 0..2 {
+        b = b.add_process(compass_workloads::httplite::worker(
+            scfg,
+            Arc::clone(&tickets),
+        ));
+    }
+    let c = b.config_mut();
+    c.backend.deadlock_ms = 20_000;
+    c.backend.batch_depth = depth;
+    c.backend.workers = workers;
+    c.filter = filter;
+    b.run()
+}
+
+/// The full ISSUE matrix: workers {1, 2, 4} x depths {1, 16} x filter
+/// {off, on} on the scientific kernel.
+#[test]
+fn sci_is_bit_identical_across_worker_counts() {
+    for depth in [1usize, 16] {
+        for filter in [false, true] {
+            let base = run_sci(1, depth, filter);
+            for workers in [2usize, 4] {
+                let sharded = run_sci(workers, depth, filter);
+                assert_bit_identical(
+                    &base.backend,
+                    &sharded.backend,
+                    &format!("sci workers={workers} depth={depth} filter={filter}"),
+                );
+            }
+        }
+    }
+}
+
+/// Same matrix on the web server: interrupt-heavy, daemon-mediated, and
+/// full of global events the classifier must refuse.
+#[test]
+fn httplite_is_bit_identical_across_worker_counts() {
+    for depth in [1usize, 16] {
+        for filter in [false, true] {
+            let base = run_httplite(1, depth, filter);
+            for workers in [2usize, 4] {
+                let sharded = run_httplite(workers, depth, filter);
+                assert_bit_identical(
+                    &base.backend,
+                    &sharded.backend,
+                    &format!("httplite workers={workers} depth={depth} filter={filter}"),
+                );
+            }
+        }
+    }
+}
+
+/// Reader/writer ping-pong over one shared line that lives on node 0
+/// while node-private work flies on both nodes: every writer store
+/// promotes the line globally and invalidates the reader's copy, so
+/// cross-node invalidations keep landing on window boundaries. Deep
+/// batches keep the windows full.
+fn pingpong(role: usize) -> impl FnMut(&mut CpuCtx) + Send {
+    move |cpu: &mut CpuCtx| {
+        let seg = cpu.shmget(0xBEEF, 4096);
+        let base = cpu.shmat(seg);
+        let private = cpu.malloc_pages(4 * 4096);
+        for round in 0..12u32 {
+            // Node-private traffic that the classifier offloads.
+            for i in 0..40u32 {
+                let a = private + (i * 72) % (4 * 4096 - 8);
+                if (i + round) % 3 == 0 {
+                    cpu.store(a, 8);
+                } else {
+                    cpu.load(a, 8);
+                }
+            }
+            if role == 0 {
+                for _ in 0..10 {
+                    cpu.load(base, 8);
+                }
+            } else {
+                cpu.store(base, 8);
+                cpu.compute(150);
+            }
+            cpu.barrier(base + 256, 2);
+        }
+        cpu.barrier(base + 256, 2);
+    }
+}
+
+#[test]
+fn cross_node_invalidation_on_window_boundaries_is_bit_identical() {
+    let run = |workers: usize| {
+        let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2));
+        for role in 0..2 {
+            b = b.add_process(pingpong(role));
+        }
+        let c = b.config_mut();
+        c.backend.batch_depth = 16;
+        c.backend.deadlock_ms = 20_000;
+        c.backend.workers = workers;
+        b.run()
+    };
+    let base = run(1);
+    for workers in [2usize, 4] {
+        let sharded = run(workers);
+        assert_bit_identical(
+            &base.backend,
+            &sharded.backend,
+            &format!("pingpong workers={workers}"),
+        );
+    }
+}
+
+/// Oversubscription: 6 processes on 4 CPUs with a pre-emptive timer, so
+/// processes migrate between nodes mid-run. A migrated process's home
+/// pages stay on its first-touch node, flipping its accesses between
+/// private and global across the migration — classification must follow.
+#[test]
+fn migration_mid_window_is_bit_identical() {
+    let run = |workers: usize| {
+        let cfg = SciConfig {
+            nprocs: 6,
+            rows: 6,
+            cols: 32,
+            iters: 3,
+            shm_key: 0x5C1,
+        };
+        let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2));
+        for rank in 0..cfg.nprocs {
+            b = b.add_process(sci::worker(cfg, rank));
+        }
+        let c = b.config_mut();
+        c.backend.batch_depth = 16;
+        c.backend.deadlock_ms = 20_000;
+        c.backend.preempt_interval = Some(200_000);
+        c.backend.timer_interval = Some(200_000);
+        c.backend.workers = workers;
+        b.run()
+    };
+    let base = run(1);
+    for workers in [2usize, 4] {
+        let sharded = run(workers);
+        assert_bit_identical(
+            &base.backend,
+            &sharded.backend,
+            &format!("migration workers={workers}"),
+        );
+    }
+}
+
+/// A wedged simulation must still come back as a structured deadlock
+/// report at every worker count — the shard window must drain, not hang,
+/// when no progress is possible.
+#[test]
+fn deadlock_is_still_reported_at_every_worker_count() {
+    for workers in [1usize, 2, 4] {
+        let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2)).add_process(|cpu: &mut CpuCtx| {
+            let seg = cpu.shmget(0xDEAD, 4096);
+            let base = cpu.shmat(seg);
+            // Private work first so shard windows actually open.
+            let heap = cpu.malloc_pages(4096);
+            for i in 0..64u32 {
+                cpu.store(heap + (i * 64) % 4032, 8);
+            }
+            cpu.barrier(base, 2); // waits for a second process that never comes
+        });
+        b.config_mut().backend.timer_interval = None;
+        b.config_mut().backend.deadlock_ms = 250;
+        b.config_mut().backend.batch_depth = 16;
+        b.config_mut().backend.workers = workers;
+        let err = match b.try_run() {
+            Ok(_) => panic!("stuck barrier must time out (workers={workers})"),
+            Err(e) => e,
+        };
+        let RunError::Deadlock { report } = err;
+        assert_eq!(report.kind, DeadlockKind::HostTimeout, "workers={workers}");
+        assert!(report.procs.iter().any(|p| p.pid == 0));
+    }
+}
