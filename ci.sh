@@ -22,6 +22,12 @@ diff -u target/quickstart-base.out target/quickstart-filter.out
 # single-threaded engine.
 COMPASS_WORKERS=4 cargo run --release -q --example quickstart >target/quickstart-shard.out
 diff -u target/quickstart-base.out target/quickstart-shard.out
+# OS-server-wall smoke: httplite BackendStats must be bit-identical
+# across OS-port batching, kernel filtering and shard workers (exits
+# nonzero on any divergence), then a short measured sweep records the
+# kernel-path speedup artifact.
+cargo run --release -q -p compass-bench --bin report_http -- --smoke
+cargo run --release -q -p compass-bench --bin report_http -- --short >target/BENCH_http_short.json
 # Clippy over both feature combinations: default and with the per-step
 # invariant layer (which adds the mirror/epoch and shard assertions).
 cargo clippy --all-targets --workspace -- -D warnings

@@ -259,8 +259,8 @@ mod tests {
             PrivateAccess {
                 cpu,
                 // Node-private regions, disjoint per node.
-                paddr: PAddr((node as u64) << 30 | (i * 64) % 4096),
-                write: i % 3 == 0,
+                paddr: PAddr(((node as u64) << 30) | ((i * 64) % 4096)),
+                write: i.is_multiple_of(3),
                 class: (i % 2) as usize,
                 now: i * 10,
             }

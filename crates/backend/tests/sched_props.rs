@@ -188,7 +188,7 @@ proptest! {
                         }
                         None => {
                             // No-op iff nobody waits or the CPU is idle.
-                            let idle = !m.state.iter().any(|st| *st == State::Running(c));
+                            let idle = !m.state.contains(&State::Running(c));
                             prop_assert!(m.ready.is_empty() || idle,
                                 "preempt({}) refused with a waiter and a victim", cpu);
                         }
@@ -214,10 +214,11 @@ proptest! {
             match op {
                 Op::MakeRunnable(pid) => {
                     let p = ProcessId(pid);
-                    if s.cpu_of(p).is_none() && !m.ready.contains(&p) {
-                        if s.make_runnable(p) == Dispatch::Queued {
-                            m.ready.push_back(p);
-                        }
+                    if s.cpu_of(p).is_none()
+                        && !m.ready.contains(&p)
+                        && s.make_runnable(p) == Dispatch::Queued
+                    {
+                        m.ready.push_back(p);
                     }
                 }
                 Op::Release(pid) => {

@@ -1,0 +1,286 @@
+//! **OS-server wall report** (`BENCH_http.json`) — httplite throughput
+//! with the OS-port batched, kernel references filtered, and the scaled
+//! keep-alive client model, against the classic per-event protocol.
+//!
+//! The OS-server wall: web serving is ~85% kernel time (§4.2), so after
+//! the frontend's own batching/filtering (PR 1, PR 5) every remaining
+//! rendezvous belongs to *kernel* memory references on the syscall path.
+//! This report measures what batching + filtering that path buys, as
+//! host events/second, and records the simulated service quality of the
+//! scaled client model (requests per simulated second, p99 simulated
+//! request latency on the paper's 133 MHz target).
+//!
+//! Modes:
+//! * (no args) — the full sweep, JSON on stdout (redirect to
+//!   `BENCH_http.json`);
+//! * `--short` — a quick CI-sized sweep, same JSON shape;
+//! * `--smoke` — bit-identity gate: the batched + filtered run must
+//!   reproduce the baseline `BackendStats` exactly (and across shard
+//!   workers); exits nonzero on any divergence.
+
+use compass::runner::RunReport;
+use compass::{ArchConfig, SimBuilder};
+use compass_isa::TimingModel;
+use compass_workloads::httplite::{
+    self, generate_fileset, generate_trace, FileSetConfig, PlayerConfig, PlayerObserved,
+    ServerConfig, SharedTickets, TracePlayer,
+};
+use std::sync::Arc;
+
+/// Host-side knobs under measurement (all bit-identity-preserving).
+#[derive(Clone, Copy)]
+struct Knobs {
+    label: &'static str,
+    batch_depth: usize,
+    filter: bool,
+    kernel_batch_depth: usize,
+    kernel_filter: bool,
+    workers: usize,
+}
+
+const BASELINE: Knobs = Knobs {
+    // The pre-ISSUE-6 configuration: frontend batching at its default
+    // depth, kernel path on the classic one-rendezvous-per-event port.
+    label: "baseline",
+    batch_depth: 8,
+    filter: false,
+    kernel_batch_depth: 1,
+    kernel_filter: false,
+    workers: 1,
+};
+
+const TUNED: Knobs = Knobs {
+    label: "batched+filtered",
+    batch_depth: 64,
+    filter: true,
+    kernel_batch_depth: 64,
+    kernel_filter: true,
+    workers: 1,
+};
+
+/// Workload scale.
+#[derive(Clone, Copy)]
+struct Scale {
+    requests: u32,
+    clients: u32,
+    server_procs: usize,
+}
+
+struct Outcome {
+    report: RunReport,
+    seen: PlayerObserved,
+    p99: u64,
+}
+
+fn run_http(scale: Scale, k: Knobs) -> Outcome {
+    let fileset = FileSetConfig { dirs: 2 };
+    let trace = generate_trace(fileset, scale.requests, 0x5EC);
+    let cfg = ServerConfig {
+        keep_alive: true,
+        ..ServerConfig::default()
+    };
+    let player = TracePlayer::with_config(
+        trace,
+        PlayerConfig {
+            keep_alive: 4,
+            slow_every: 5,
+            slow_factor: 4,
+            churn_every: 8,
+            ..PlayerConfig::http10(scale.clients, cfg.port)
+        },
+    );
+    let stats = player.stats();
+    let tickets = SharedTickets::new(player.expected_connections());
+    let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2))
+        .prepare_kernel(move |kernel| {
+            generate_fileset(kernel, fileset);
+        })
+        .traffic(player);
+    for _ in 0..scale.server_procs {
+        b = b.add_process(httplite::worker(cfg, Arc::clone(&tickets)));
+    }
+    let c = b.config_mut();
+    c.backend.deadlock_ms = 60_000;
+    c.backend.batch_depth = k.batch_depth;
+    c.backend.workers = k.workers;
+    c.filter = k.filter;
+    c.kernel_batch_depth = k.kernel_batch_depth;
+    c.kernel_filter = k.kernel_filter;
+    let report = b.run();
+    let seen = stats.observed();
+    let p99 = stats.latency_quantile(0.99);
+    Outcome { report, seen, p99 }
+}
+
+struct Row {
+    label: &'static str,
+    knobs: Knobs,
+    events_per_sec: f64,
+    sim_requests_per_sec: f64,
+    p99_latency_cycles: u64,
+    p99_latency_ms: f64,
+    wall_s: f64,
+}
+
+fn measure(scale: Scale, k: Knobs) -> Row {
+    let timing = TimingModel::powerpc_604();
+    let o = run_http(scale, k);
+    let wall = o.report.wall.as_secs_f64().max(1e-9);
+    let sim_secs = timing.cycles_to_secs(o.report.backend.global_cycles);
+    Row {
+        label: k.label,
+        knobs: k,
+        events_per_sec: o.report.backend.events as f64 / wall,
+        sim_requests_per_sec: o.seen.completed as f64 / sim_secs.max(1e-12),
+        p99_latency_cycles: o.p99,
+        p99_latency_ms: timing.cycles_to_secs(o.p99) * 1e3,
+        wall_s: wall,
+    }
+}
+
+fn print_json(rows: &[Row], scale: Scale) {
+    let speedup = {
+        let base = rows
+            .iter()
+            .find(|r| r.label == "baseline")
+            .expect("baseline row");
+        let tuned = rows
+            .iter()
+            .find(|r| r.label == "batched+filtered")
+            .expect("tuned row");
+        tuned.events_per_sec / base.events_per_sec
+    };
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"label\": \"{}\", \"batch_depth\": {}, \"filter\": {}, \
+                 \"kernel_batch_depth\": {}, \"kernel_filter\": {}, \"workers\": {}, \
+                 \"events_per_sec\": {:.0}, \"sim_requests_per_sec\": {:.1}, \
+                 \"p99_latency_cycles\": {}, \"p99_latency_ms\": {:.3}, \"wall_s\": {:.3}}}",
+                r.label,
+                r.knobs.batch_depth,
+                r.knobs.filter,
+                r.knobs.kernel_batch_depth,
+                r.knobs.kernel_filter,
+                r.knobs.workers,
+                r.events_per_sec,
+                r.sim_requests_per_sec,
+                r.p99_latency_cycles,
+                r.p99_latency_ms,
+                r.wall_s
+            )
+        })
+        .collect();
+    println!("{{");
+    println!("  \"bench\": \"http_os_wall\",");
+    println!("  \"target_mhz\": 133,");
+    println!(
+        "  \"scale\": {{\"requests\": {}, \"clients\": {}, \"server_procs\": {}}},",
+        scale.requests, scale.clients, scale.server_procs
+    );
+    println!("  \"rows\": [");
+    println!("{}", entries.join(",\n"));
+    println!("  ],");
+    println!("  \"events_per_sec_speedup\": {speedup:.2}");
+    println!("}}");
+}
+
+/// Bit-identity gate for CI: batching/filtering the OS port (and shard
+/// workers on top) must not move a single backend statistic or lose a
+/// request.
+fn smoke() -> i32 {
+    let scale = Scale {
+        requests: 48,
+        clients: 6,
+        server_procs: 2,
+    };
+    let base = run_http(scale, BASELINE);
+    let base_stats = format!("{:#?}", base.report.backend);
+    let mut failures = 0;
+    for k in [
+        TUNED,
+        Knobs {
+            label: "batched+filtered+sharded",
+            workers: 4,
+            ..TUNED
+        },
+    ] {
+        let got = run_http(scale, k);
+        if format!("{:#?}", got.report.backend) != base_stats {
+            eprintln!("FAIL: BackendStats diverged under {}", k.label);
+            failures += 1;
+        }
+        if got.seen.completed != base.seen.completed {
+            eprintln!(
+                "FAIL: {} completed {} requests, baseline {}",
+                k.label, got.seen.completed, base.seen.completed
+            );
+            failures += 1;
+        }
+        if got.report.net.conns != base.report.net.conns {
+            eprintln!("FAIL: connection count diverged under {}", k.label);
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        eprintln!(
+            "ok: httplite BackendStats bit-identical across OS-port batching, \
+             kernel filtering, and shard workers ({} requests, {} conns)",
+            base.seen.completed, base.report.net.conns
+        );
+    }
+    failures
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        Some("--smoke") => std::process::exit(smoke()),
+        Some("--short") => {
+            let scale = Scale {
+                requests: 120,
+                clients: 12,
+                server_procs: 2,
+            };
+            let rows = vec![measure(scale, BASELINE), measure(scale, TUNED)];
+            for r in &rows {
+                eprintln!(
+                    "{:<18} {:>12.0} events/s  {:>8.1} sim req/s  p99 {:>7.2} ms",
+                    r.label, r.events_per_sec, r.sim_requests_per_sec, r.p99_latency_ms
+                );
+            }
+            print_json(&rows, scale);
+        }
+        _ => {
+            let scale = Scale {
+                requests: 600,
+                clients: 48,
+                server_procs: 4,
+            };
+            let mut rows = Vec::new();
+            for k in [
+                BASELINE,
+                Knobs {
+                    label: "kernel-batched",
+                    kernel_batch_depth: 64,
+                    ..BASELINE
+                },
+                TUNED,
+                Knobs {
+                    label: "batched+filtered+sharded",
+                    workers: 4,
+                    ..TUNED
+                },
+            ] {
+                let r = measure(scale, k);
+                eprintln!(
+                    "{:<26} {:>12.0} events/s  {:>8.1} sim req/s  p99 {:>7.2} ms  ({:.2}s)",
+                    r.label, r.events_per_sec, r.sim_requests_per_sec, r.p99_latency_ms, r.wall_s
+                );
+                rows.push(r);
+            }
+            print_json(&rows, scale);
+        }
+    }
+}

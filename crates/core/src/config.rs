@@ -30,6 +30,18 @@ pub struct SimConfig {
     /// docs); ignored when `pseudo_irq` is on, whose per-reply flag check
     /// filtering would skip.
     pub filter: bool,
+    /// OS-port event-batch depth for syscall-path kernel code: kernel
+    /// memory references publish non-blocking events whose latencies the
+    /// backend settles through the port credit, exactly like the frontend
+    /// `batch_depth`. 1 disables; bit-identical results at any depth.
+    /// Ignored when `pseudo_irq` is on (interrupt work must stay on the
+    /// per-event protocol).
+    pub kernel_batch_depth: usize,
+    /// Kernel-side reference filtering: each OS thread mirrors its
+    /// companion CPU's L1/TLB and keeps predicted kernel hits local,
+    /// logging them for authoritative backend replay. Bit-identical
+    /// backend results either way; ignored when `pseudo_irq` is on.
+    pub kernel_filter: bool,
     /// Observability: counters, structured trace, progress snapshots.
     /// Off by default; never consulted by simulation logic, so it cannot
     /// change simulated results.
@@ -52,6 +64,8 @@ impl SimConfig {
             pseudo_irq: false,
             sample_period: 1,
             filter: false,
+            kernel_batch_depth: 8,
+            kernel_filter: false,
             obs: ObsConfig::default(),
         }
     }

@@ -156,13 +156,29 @@ impl SimBuilder {
     /// all simulated threads unwind cleanly before this returns.
     pub fn try_run(self) -> Result<RunReport, RunError> {
         let SimBuilder {
-            config,
+            mut config,
             processes,
             traffic,
             prepare,
             recorder,
             progress,
         } = self;
+        // More engine threads than host cores only adds scheduling churn
+        // (results are bit-identical at any worker count, so clamping is
+        // safe). `workers` counts the coordinator: N > 1 means N - 1
+        // shard threads beside it.
+        let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if config.backend.workers > host_cores.max(1) {
+            static CLAMP_WARNED: std::sync::Once = std::sync::Once::new();
+            let (want, got) = (config.backend.workers, host_cores.max(1));
+            CLAMP_WARNED.call_once(|| {
+                eprintln!(
+                    "compass: clamping backend_workers {want} to available parallelism {got} \
+                     (results are identical at any worker count; warning shown once)"
+                );
+            });
+            config.backend.workers = got;
+        }
         config.validate().expect("invalid simulation configuration");
         let nprocs = processes.len();
         assert!(nprocs > 0, "no processes to simulate");
@@ -179,9 +195,13 @@ impl SimBuilder {
         let notifier = Arc::new(Notifier::new());
         let cpu_states = Arc::new(CpuStates::new(ncpus));
         let devshared = Arc::new(DevShared::new());
-        // Rings must hold a full frontend batch (plus the OS thread's
-        // blocking event that may follow it during an OS call).
-        let ring_cap = compass_comm::DEFAULT_RING_CAPACITY.max(config.backend.batch_depth + 1);
+        // Rings must hold a full frontend batch, the OS thread's batched
+        // kernel events (its pending count persists across syscalls), and
+        // the blocking event that cuts the batch. The frontend parks
+        // while its OS thread runs, so the two never publish into one
+        // ring concurrently — capacity is the only constraint.
+        let ring_cap = compass_comm::DEFAULT_RING_CAPACITY
+            .max(config.backend.batch_depth + config.kernel_batch_depth.max(1) + 1);
         let ports: Vec<Arc<EventPort>> = (0..=nprocs)
             .map(|pid| {
                 let mut port = EventPort::with_capacity(
@@ -206,11 +226,31 @@ impl SimBuilder {
         } else {
             config.os_threads
         };
+        let os_block = counters.map(|hub| hub.register("os"));
         let os_obs = OsObs {
-            counters: counters.map(|hub| hub.register("os")),
+            counters: os_block.clone(),
             trace: trace.clone(),
         };
-        let os_server = OsServer::start_with(Arc::clone(&kernel), os_threads, os_obs);
+        // Kernel-side batching/filtering (ISSUE 6): syscall-path only, so
+        // it is disabled wholesale under pseudo-IRQ delivery — interrupt
+        // handlers must see the authoritative clock and reply flags.
+        let kernel_perf = (!config.pseudo_irq
+            && (config.kernel_batch_depth > 1 || config.kernel_filter))
+            .then(|| compass_os::KernelPerfSetup {
+                batch_depth: config.kernel_batch_depth,
+                filter: config
+                    .kernel_filter
+                    .then_some(compass_os::KernelFilterConfig {
+                        l1: config.backend.arch.l1,
+                        hit_lat: config.backend.arch.lat.l1_hit,
+                        tlb_entries: config.backend.tlb_entries,
+                        tlb_assoc: config.backend.tlb_assoc,
+                    }),
+                cpu_states: Arc::clone(&cpu_states),
+                counters: os_block.clone(),
+            });
+        let os_server =
+            OsServer::start_with_perf(Arc::clone(&kernel), os_threads, os_obs, kernel_perf);
         let daemon_handle =
             os_server.start_daemon(daemon_pid, Arc::clone(&ports[daemon_pid.index()]));
 
@@ -230,6 +270,11 @@ impl SimBuilder {
         let backend_block = counters.map(|hub| hub.register("backend"));
         if let Some(block) = &backend_block {
             backend.set_counters(Arc::clone(block));
+        }
+        if let Some(block) = &os_block {
+            // Progress snapshots surface the OS-side batching/filtering
+            // counters alongside the backend's own.
+            backend.set_os_counters(Arc::clone(block));
         }
         if let Some(t) = &trace {
             backend.set_trace(t.clone());

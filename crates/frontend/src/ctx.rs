@@ -714,6 +714,45 @@ impl CpuCtx {
         }
     }
 
+    /// Issues several adjacent OS calls in one port crossing (ISSUE 6).
+    /// Only for call sites with no user work between the calls — the
+    /// simulated timeline is then identical to issuing them one at a
+    /// time, and the single aggregated reply saves n-1 rendezvous.
+    pub fn os_call_batch(&mut self, calls: Vec<OsCall>) -> Vec<SysResult> {
+        if calls.is_empty() {
+            return Vec::new();
+        }
+        self.stats.os_calls += calls.len() as u64;
+        self.flush_filter_log();
+        match &self.mode {
+            Mode::Sim { os, .. } => {
+                let (clock, results) = os.call_batch(self.clock, calls);
+                if results.contains(&Err(compass_os::Errno::Aborted)) {
+                    std::panic::panic_any(SimAbort);
+                }
+                self.clock = clock;
+                self.last_event_clock = self.clock;
+                results
+            }
+            Mode::Raw { kernel } => {
+                let sink = RawSink;
+                let mut kc = KernelCtx::new(
+                    self.pid,
+                    &sink,
+                    self.clock,
+                    ExecMode::Kernel,
+                    kernel.cfg.touch_gran,
+                );
+                let results = calls
+                    .into_iter()
+                    .map(|call| compass_os::syscalls::dispatch(&mut kc, kernel, call))
+                    .collect();
+                self.clock = kc.clock;
+                results
+            }
+        }
+    }
+
     /// `mmap(path, len)`: allocates a region in the process's simulated
     /// space, asks the kernel to build the mapping, and registers the
     /// region with the backend's VM (the stub half of the paper's split:

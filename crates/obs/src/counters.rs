@@ -100,10 +100,23 @@ pub enum Ctr {
     /// Events that had to wait for the in-flight window to drain before
     /// running globally on the engine thread.
     ShardStagedEvents,
+    /// Syscall replies that aggregated work instead of round-tripping per
+    /// event: each `DoneBatch` result beyond the first, plus each `Done`
+    /// whose kernel context left batched events for credit to settle.
+    OsBatchedReplies,
+    /// Kernel memory references resolved by the OS-side L1/TLB mirror
+    /// (charged the fixed L1-hit latency without a port rendezvous).
+    KernelRefsFiltered,
+    /// Device completion wake events scheduled (disk completions and
+    /// network deliveries entered into the engine's task heap).
+    DeviceWakeEvents,
+    /// Interval-timer polls skipped because the target CPU was idle (the
+    /// tick disarms instead of rescheduling).
+    DevicePollsEliminated,
 }
 
 /// Number of counters in the catalogue.
-pub const CTR_COUNT: usize = Ctr::ShardStagedEvents as usize + 1;
+pub const CTR_COUNT: usize = Ctr::DevicePollsEliminated as usize + 1;
 
 impl Ctr {
     /// Every counter, in slot order.
@@ -144,6 +157,10 @@ impl Ctr {
         Ctr::ShardPrivateJobs,
         Ctr::ShardStalls,
         Ctr::ShardStagedEvents,
+        Ctr::OsBatchedReplies,
+        Ctr::KernelRefsFiltered,
+        Ctr::DeviceWakeEvents,
+        Ctr::DevicePollsEliminated,
     ];
 
     /// Stable snake_case name used in reports and JSON exports.
@@ -185,6 +202,10 @@ impl Ctr {
             Ctr::ShardPrivateJobs => "shard_private_jobs",
             Ctr::ShardStalls => "shard_stalls",
             Ctr::ShardStagedEvents => "shard_staged_events",
+            Ctr::OsBatchedReplies => "os_batched_replies",
+            Ctr::KernelRefsFiltered => "kernel_refs_filtered",
+            Ctr::DeviceWakeEvents => "device_wake_events",
+            Ctr::DevicePollsEliminated => "device_polls_eliminated",
         }
     }
 }

@@ -28,6 +28,16 @@ pub struct ProgressSnapshot {
     /// bound trails global time. Large and growing = one process starves
     /// the horizon.
     pub min_lag: u64,
+    /// Syscall replies that aggregated batched work (see
+    /// `Ctr::OsBatchedReplies`). Zero when counters are off.
+    pub os_batched_replies: u64,
+    /// Kernel references the OS-side mirror filtered (see
+    /// `Ctr::KernelRefsFiltered`). Zero when counters are off.
+    pub kernel_refs_filtered: u64,
+    /// Device completion wake events scheduled so far.
+    pub device_wake_events: u64,
+    /// Idle interval-timer polls eliminated so far.
+    pub device_polls_eliminated: u64,
 }
 
 impl ProgressSnapshot {
@@ -39,10 +49,23 @@ impl ProgressSnapshot {
             .map(|(s, n)| format!("{s}:{n}"))
             .collect::<Vec<_>>()
             .join(" ");
-        format!(
+        let mut line = format!(
             "t={} events={} ({:.0}/s) lag={} [{}]",
             self.sim_time, self.events, self.events_per_sec, self.min_lag, states
-        )
+        );
+        if self.kernel_refs_filtered > 0 || self.os_batched_replies > 0 {
+            line.push_str(&format!(
+                " kfilt={} obatch={}",
+                self.kernel_refs_filtered, self.os_batched_replies
+            ));
+        }
+        if self.device_wake_events > 0 || self.device_polls_eliminated > 0 {
+            line.push_str(&format!(
+                " wakes={} polls_cut={}",
+                self.device_wake_events, self.device_polls_eliminated
+            ));
+        }
+        line
     }
 }
 
@@ -63,11 +86,17 @@ mod tests {
             events_per_sec: 9900.0,
             states: vec![("Running", 2), ("Blocked", 1)],
             min_lag: 7,
+            os_batched_replies: 3,
+            kernel_refs_filtered: 41,
+            device_wake_events: 12,
+            device_polls_eliminated: 5,
         };
         let line = s.one_line();
         assert!(line.contains("t=1234"));
         assert!(line.contains("events=99"));
         assert!(line.contains("Running:2"));
         assert!(line.contains("lag=7"));
+        assert!(line.contains("kfilt=41"));
+        assert!(line.contains("wakes=12"));
     }
 }

@@ -263,6 +263,52 @@ mod tests {
     }
 
     #[test]
+    fn eviction_under_pressure_cycles_a_single_buffer() {
+        // The degenerate one-buffer cache: every new block evicts the
+        // previous one, dirty victims always surface for writeback, and
+        // the map never aliases two tags to the same buffer.
+        let (mut c, _h) = cache(1);
+        for blk in 0..4u64 {
+            assert_eq!(c.lookup(9, blk), None);
+            let (id, wb) = c.claim(9, blk);
+            assert_eq!(id, BufId(0));
+            if blk == 0 {
+                assert!(wb.is_none());
+            } else {
+                assert_eq!(wb, Some(Writeback { tag: (9, blk - 1) }));
+                assert_eq!(c.peek(9, blk - 1), None, "victim left in the map");
+            }
+            assert!(!c.buf(id).valid, "claimed buffer must need fresh I/O");
+            c.buf_mut(id).valid = true;
+            c.buf_mut(id).dirty = true;
+        }
+        assert_eq!(c.stats().writebacks, 3);
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn reclaimed_block_needs_fresh_io() {
+        let (mut c, _h) = cache(1);
+        let (a, _) = c.claim(1, 0);
+        c.buf_mut(a).valid = true;
+        c.claim(1, 1); // evicts (1, 0)
+        assert_eq!(c.lookup(1, 0), None, "evicted block must miss");
+        let (b, _) = c.claim(1, 0);
+        assert!(!c.buf(b).valid, "stale content must not survive eviction");
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer cache wedged")]
+    fn all_buffers_pinned_panics_loudly() {
+        let (mut c, _h) = cache(2);
+        for blk in 0..2u64 {
+            let (id, _) = c.claim(1, blk);
+            c.buf_mut(id).io_pending = true;
+        }
+        c.claim(1, 2);
+    }
+
+    #[test]
     fn simulated_addresses_are_kernel_and_distinct() {
         let (c, _h) = cache(3);
         let mut seen = std::collections::HashSet::new();

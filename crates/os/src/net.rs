@@ -273,6 +273,65 @@ mod tests {
     }
 
     #[test]
+    fn churn_mid_transfer_drains_buffered_data_then_eofs() {
+        // A churned client FINs while response bytes are still queued in
+        // its socket buffer: the reader must see every buffered byte
+        // before the EOF, never a truncated stream.
+        let mut n = NetState::new();
+        n.listen(80, K).unwrap();
+        n.syn(ConnId(1), 80, K);
+        n.deliver(ConnId(1), b"GET /a");
+        assert_eq!(n.recv(ConnId(1), 4).unwrap(), b"GET ");
+        n.peer_close(ConnId(1));
+        // Frames racing the FIN (retransmits, reordered segments) still
+        // land: only a *local* close drops them.
+        assert!(n.deliver(ConnId(1), b"bc"), "frame racing the FIN lands");
+        assert!(n.readable(ConnId(1)));
+        assert_eq!(n.recv(ConnId(1), 100).unwrap(), b"/abc");
+        assert_eq!(n.recv(ConnId(1), 1).unwrap(), Vec::<u8>::new(), "EOF");
+        assert_eq!(n.conn(ConnId(1)).unwrap().rx_bytes, 8);
+    }
+
+    #[test]
+    fn unknown_connection_io_is_badf() {
+        let mut n = NetState::new();
+        assert_eq!(n.recv(ConnId(9), 1), Err(Errno::BadF));
+        assert_eq!(n.sent(ConnId(9), 1), Err(Errno::BadF));
+        assert_eq!(n.close(ConnId(9)), Err(Errno::BadF));
+        assert!(!n.readable(ConnId(9)));
+    }
+
+    #[test]
+    fn unlisten_drops_queued_connections_and_stops_syns() {
+        let mut n = NetState::new();
+        n.listen(80, K).unwrap();
+        n.syn(ConnId(1), 80, K);
+        n.syn(ConnId(2), 80, K + 64);
+        let l = n.unlisten(80).expect("listener existed");
+        assert_eq!(l.accept_q, [ConnId(1), ConnId(2)]);
+        assert_eq!(n.accept(80), None, "queue went with the listener");
+        assert!(!n.listener_readable(80));
+        assert!(!n.syn(ConnId(3), 80, K), "SYN after unlisten is a RST");
+        // Established connections outlive their listener (as in TCP).
+        assert!(n.deliver(ConnId(1), b"x"));
+        assert_eq!(n.recv(ConnId(1), 1).unwrap(), b"x");
+    }
+
+    #[test]
+    fn local_close_discards_buffered_rx() {
+        let mut n = NetState::new();
+        n.listen(80, K).unwrap();
+        n.syn(ConnId(1), 80, K);
+        n.deliver(ConnId(1), b"pending");
+        n.close(ConnId(1)).unwrap();
+        assert_eq!(
+            n.recv(ConnId(1), 100),
+            Err(Errno::ConnClosed),
+            "buffered bytes are unreachable after local close"
+        );
+    }
+
+    #[test]
     fn stats_accumulate() {
         let mut n = NetState::new();
         n.listen(80, K).unwrap();

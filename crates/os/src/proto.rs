@@ -286,6 +286,17 @@ pub enum OsMsg {
         /// The call.
         call: OsCall,
     },
+    /// Several adjacent system calls in one port crossing (ISSUE 6): the
+    /// OS thread dispatches them back-to-back on one kernel context and
+    /// the single reply coalesces every result. Semantically identical to
+    /// the same calls issued one at a time with nothing in between — the
+    /// stub only uses it where no user event separates the calls.
+    CallBatch {
+        /// Process clock at the first call site.
+        clock: Cycles,
+        /// The calls, executed in order.
+        calls: Vec<OsCall>,
+    },
     /// Pseudo interrupt request (§3.2): the frontend saw the interrupt
     /// flag; the OS thread runs the handlers.
     PseudoIrq {
@@ -310,6 +321,14 @@ pub enum OsRet {
         clock: Cycles,
         /// The result.
         result: SysResult,
+    },
+    /// A [`OsMsg::CallBatch`] finished: one aggregated reply, one result
+    /// per call in order.
+    DoneBatch {
+        /// Process clock after every call ran.
+        clock: Cycles,
+        /// Per-call results.
+        results: Vec<SysResult>,
     },
     /// Acknowledges Exit/Shutdown.
     Bye,

@@ -9,7 +9,7 @@
 use crate::bufcache::BufCache;
 use crate::fs::{FdTables, FileData, FileSystem};
 use crate::handlers;
-use crate::kctx::{KernelCtx, PortSink};
+use crate::kctx::{KernelCtx, KernelPerf, KernelPerfSetup, PortSink};
 use crate::kmem::KernelHeap;
 use crate::net::NetState;
 use crate::proto::{Errno, OsCall, OsMsg, OsRet, SysResult, SysVal};
@@ -255,6 +255,17 @@ impl OsConn {
         }
     }
 
+    /// Issues several adjacent system calls in one port crossing (ISSUE
+    /// 6): one request, one aggregated reply. Only valid when no user
+    /// event separates the calls — the simulated timeline is then
+    /// identical to issuing them one at a time.
+    pub fn call_batch(&self, clock: Cycles, calls: Vec<OsCall>) -> (Cycles, Vec<SysResult>) {
+        match self.port.call(OsMsg::CallBatch { clock, calls }) {
+            OsRet::DoneBatch { clock, results } => (clock, results),
+            other => panic!("unexpected OS reply {other:?}"),
+        }
+    }
+
     /// Forwards a pseudo interrupt request (§3.2).
     pub fn pseudo_irq(&self, clock: Cycles) -> Cycles {
         match self.port.call(OsMsg::PseudoIrq { clock }) {
@@ -293,6 +304,21 @@ impl OsServer {
 
     /// Starts `nthreads` OS threads with observability hooks attached.
     pub fn start_with(kernel: Arc<KernelShared>, nthreads: usize, obs: OsObs) -> Arc<Self> {
+        Self::start_with_perf(kernel, nthreads, obs, None)
+    }
+
+    /// Starts `nthreads` OS threads with observability hooks and an
+    /// optional kernel-side performance setup (event batching and
+    /// reference filtering for syscall-path kernel code — ISSUE 6). The
+    /// setup is rebuilt into fresh per-pairing state on every Connect;
+    /// interrupt-context work (pseudo IRQs, the bottom-half daemon) never
+    /// uses it.
+    pub fn start_with_perf(
+        kernel: Arc<KernelShared>,
+        nthreads: usize,
+        obs: OsObs,
+        perf: Option<KernelPerfSetup>,
+    ) -> Arc<Self> {
         assert!(nthreads > 0);
         let slots: Vec<ThreadSlot> = (0..nthreads)
             .map(|_| ThreadSlot {
@@ -305,10 +331,11 @@ impl OsServer {
             let port = Arc::clone(&slot.port);
             let k = Arc::clone(&kernel);
             let o = obs.clone();
+            let p = perf.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("os-thread-{i}"))
-                    .spawn(move || os_thread_main(port, k, o))
+                    .spawn(move || os_thread_main(port, k, o, p))
                     .expect("spawn OS thread"),
             );
         }
@@ -397,13 +424,27 @@ fn absorb_abort<R>(f: impl FnOnce() -> R) -> Result<R, Errno> {
 
 /// One OS thread: waits for pairing, then serves calls until Exit, then
 /// returns to "single".
-fn os_thread_main(port: Arc<ReqPort<OsMsg, OsRet>>, kernel: Arc<KernelShared>, obs: OsObs) {
+///
+/// `perf` (when configured) batches and filters kernel-mode events for
+/// the **syscall path only**: pseudo IRQs and the daemon run interrupt
+/// handlers whose postbox drains depend on the authoritative clock, so
+/// they keep the per-event protocol.
+fn os_thread_main(
+    port: Arc<ReqPort<OsMsg, OsRet>>,
+    kernel: Arc<KernelShared>,
+    obs: OsObs,
+    perf: Option<KernelPerfSetup>,
+) {
     let mut paired: Option<(ProcessId, Arc<EventPort>)> = None;
+    let mut perf_state: Option<KernelPerf> = None;
     loop {
         match port.recv() {
             OsMsg::Connect { pid, port: eport } => {
                 debug_assert!(paired.is_none(), "connect to a paired OS thread");
                 paired = Some((pid, eport));
+                // Fresh mirror/TLB/credit state per pairing: a new process
+                // shares nothing with the previous tenant.
+                perf_state = perf.as_ref().map(KernelPerfSetup::build);
                 port.respond(OsRet::Connected);
             }
             OsMsg::Call { clock, call } => {
@@ -411,6 +452,9 @@ fn os_thread_main(port: Arc<ReqPort<OsMsg, OsRet>>, kernel: Arc<KernelShared>, o
                 let sink = PortSink(Arc::clone(eport));
                 let mut kc =
                     KernelCtx::new(*pid, &sink, clock, ExecMode::Kernel, kernel.cfg.touch_gran);
+                if let Some(p) = perf_state.as_mut() {
+                    kc = kc.with_perf(p);
+                }
                 if let Some(c) = &obs.counters {
                     c.inc(Ctr::OsCalls);
                 }
@@ -419,18 +463,76 @@ fn os_thread_main(port: Arc<ReqPort<OsMsg, OsRet>>, kernel: Arc<KernelShared>, o
                     Ok(r) => r,
                     Err(e) => Err(e),
                 };
+                kc.flush_filter_log();
+                let end_clock = kc.clock;
+                if let Some(p) = perf_state.as_mut() {
+                    if p.take_batched_any() {
+                        if let Some(c) = &obs.counters {
+                            c.inc(Ctr::OsBatchedReplies);
+                        }
+                    }
+                }
                 if let Some(t) = &obs.trace {
                     if t.wants(TraceKind::OsCall) {
                         let mut r = TraceRec::new(clock, pid.0, TraceKind::OsCall);
                         r.a = clock;
-                        r.b = kc.clock.saturating_sub(clock);
+                        r.b = end_clock.saturating_sub(clock);
                         r.tag = name;
                         t.record(r);
                     }
                 }
                 port.respond(OsRet::Done {
-                    clock: kc.clock,
+                    clock: end_clock,
                     result,
+                });
+            }
+            OsMsg::CallBatch { clock, calls } => {
+                let (pid, eport) = paired.as_ref().expect("call before pairing");
+                let sink = PortSink(Arc::clone(eport));
+                let mut kc =
+                    KernelCtx::new(*pid, &sink, clock, ExecMode::Kernel, kernel.cfg.touch_gran);
+                if let Some(p) = perf_state.as_mut() {
+                    kc = kc.with_perf(p);
+                }
+                let n = calls.len() as u64;
+                if let Some(c) = &obs.counters {
+                    c.add(Ctr::OsCalls, n);
+                }
+                let mut results = Vec::with_capacity(calls.len());
+                for call in calls {
+                    let name = call.name();
+                    let start = kc.clock;
+                    let result = match absorb_abort(|| syscalls::dispatch(&mut kc, &kernel, call)) {
+                        Ok(r) => r,
+                        Err(e) => Err(e),
+                    };
+                    if let Some(t) = &obs.trace {
+                        if t.wants(TraceKind::OsCall) {
+                            let mut r = TraceRec::new(start, pid.0, TraceKind::OsCall);
+                            r.a = start;
+                            r.b = kc.clock.saturating_sub(start);
+                            r.tag = name;
+                            t.record(r);
+                        }
+                    }
+                    results.push(result);
+                }
+                kc.flush_filter_log();
+                let end_clock = kc.clock;
+                let mut coalesced = n.saturating_sub(1);
+                if let Some(p) = perf_state.as_mut() {
+                    if p.take_batched_any() {
+                        coalesced += 1;
+                    }
+                }
+                if coalesced > 0 {
+                    if let Some(c) = &obs.counters {
+                        c.add(Ctr::OsBatchedReplies, coalesced);
+                    }
+                }
+                port.respond(OsRet::DoneBatch {
+                    clock: end_clock,
+                    results,
                 });
             }
             OsMsg::PseudoIrq { clock } => {
@@ -457,6 +559,7 @@ fn os_thread_main(port: Arc<ReqPort<OsMsg, OsRet>>, kernel: Arc<KernelShared>, o
             }
             OsMsg::Exit => {
                 paired = None;
+                perf_state = None;
                 port.respond(OsRet::Bye);
             }
             OsMsg::Shutdown => {

@@ -26,8 +26,11 @@ pub struct RunOutput {
 /// filtering for this run (callers pass `sc.filter` or its negation for
 /// the filter differential); `workers` likewise sets the backend
 /// shard-worker count (callers pass `sc.workers` or `1` for the
-/// workers-twin differential). A deadlock comes back as `Err` so soak
+/// workers-twin differential); `os_batch` and `kernel_filter` set the
+/// kernel-side OS-port batch depth and kernel reference filtering the
+/// same way for their twins. A deadlock comes back as `Err` so soak
 /// runs record and shrink it instead of dying.
+#[allow(clippy::too_many_arguments)]
 pub fn run_scenario(
     sc: &Scenario,
     depth: usize,
@@ -35,6 +38,8 @@ pub fn run_scenario(
     observe: bool,
     filter: bool,
     workers: usize,
+    os_batch: usize,
+    kernel_filter: bool,
 ) -> Result<RunOutput, RunError> {
     let mut b = sc.builder();
     let sink = if record { Some(trace::sink()) } else { None };
@@ -56,6 +61,8 @@ pub fn run_scenario(
     }
     cfg.filter = filter;
     cfg.backend.workers = workers;
+    cfg.kernel_batch_depth = os_batch;
+    cfg.kernel_filter = kernel_filter;
     if observe {
         cfg.obs = ObsConfig::full(TraceLevel::Fine);
         cfg.obs.progress_every = Some(10_000);
@@ -147,16 +154,26 @@ pub fn metamorphic_variants(sc: &Scenario) -> Vec<Scenario> {
 /// failed check (empty = clean).
 ///
 /// Layers: depth-1 baseline with trace recording → oracle replay →
-/// filter-toggled differential → shard-workers-twin differential → depth
-/// {4,16,64} differentials → (timing-independent workloads only)
-/// metamorphic knob variants. The per-step invariant layer runs inside
-/// every one of these when built with `--features check-invariants`.
+/// filter-toggled differential → shard-workers-twin differential →
+/// OS-batch-twin and kernel-filter-twin differentials → depth {4,16,64}
+/// differentials → (timing-independent workloads only) metamorphic knob
+/// variants. The per-step invariant layer runs inside every one of these
+/// when built with `--features check-invariants`.
 pub fn check_scenario(sc: &Scenario) -> Vec<String> {
     let mut failures = Vec::new();
     // The baseline runs with the full observability stack on; every other
     // run leaves it off, so the depth differentials below also prove that
     // instrumentation does not change a single statistic.
-    let base = match run_scenario(sc, 1, true, true, sc.filter, sc.workers) {
+    let base = match run_scenario(
+        sc,
+        1,
+        true,
+        true,
+        sc.filter,
+        sc.workers,
+        sc.os_batch,
+        sc.kernel_filter,
+    ) {
         Ok(out) => out,
         Err(e) => return vec![format!("depth-1 run deadlocked: {e}")],
     };
@@ -178,7 +195,16 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
     // toggled the other way must match the instrumented baseline
     // statistic for statistic. Depth 1 pins per-event rendezvous, so any
     // divergence is the filter's alone.
-    match run_scenario(sc, 1, false, false, !sc.filter, sc.workers) {
+    match run_scenario(
+        sc,
+        1,
+        false,
+        false,
+        !sc.filter,
+        sc.workers,
+        sc.os_batch,
+        sc.kernel_filter,
+    ) {
         Ok(run) => {
             for d in diff::diff_backend_stats(&base.report.backend, &run.report.backend) {
                 failures.push(format!(
@@ -194,7 +220,16 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
     // 4-worker twin) and must match statistic for statistic — the
     // node-partitioned parallel backend may change host time only.
     let twin_workers = if sc.workers == 1 { 4 } else { 1 };
-    match run_scenario(sc, 1, false, false, sc.filter, twin_workers) {
+    match run_scenario(
+        sc,
+        1,
+        false,
+        false,
+        sc.filter,
+        twin_workers,
+        sc.os_batch,
+        sc.kernel_filter,
+    ) {
         Ok(run) => {
             for d in diff::diff_backend_stats(&base.report.backend, &run.report.backend) {
                 failures.push(format!(
@@ -205,8 +240,65 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
         }
         Err(e) => failures.push(format!("workers-twin run deadlocked: {e}")),
     }
+    // OS-batch differential: the kernel syscall path replayed on the
+    // classic per-event port (or, when the scenario already is classic,
+    // at depth 64) must match statistic for statistic — the credit-based
+    // aggregate reply may change host time only.
+    let twin_os_batch = if sc.os_batch == 1 { 64 } else { 1 };
+    match run_scenario(
+        sc,
+        1,
+        false,
+        false,
+        sc.filter,
+        sc.workers,
+        twin_os_batch,
+        sc.kernel_filter,
+    ) {
+        Ok(run) => {
+            for d in diff::diff_backend_stats(&base.report.backend, &run.report.backend) {
+                failures.push(format!(
+                    "os_batch={} vs os_batch={}: {d}",
+                    twin_os_batch, sc.os_batch
+                ));
+            }
+        }
+        Err(e) => failures.push(format!("os-batch-twin run deadlocked: {e}")),
+    }
+    // Kernel-filter differential: predicted-hit kernel references charged
+    // locally and replayed through the authoritative path must leave
+    // every backend statistic untouched.
+    match run_scenario(
+        sc,
+        1,
+        false,
+        false,
+        sc.filter,
+        sc.workers,
+        sc.os_batch,
+        !sc.kernel_filter,
+    ) {
+        Ok(run) => {
+            for d in diff::diff_backend_stats(&base.report.backend, &run.report.backend) {
+                failures.push(format!(
+                    "kernel_filter={} vs kernel_filter={}: {d}",
+                    !sc.kernel_filter, sc.kernel_filter
+                ));
+            }
+        }
+        Err(e) => failures.push(format!("kernel-filter-twin run deadlocked: {e}")),
+    }
     for depth in &DEPTHS[1..] {
-        let run = match run_scenario(sc, *depth, false, false, sc.filter, sc.workers) {
+        let run = match run_scenario(
+            sc,
+            *depth,
+            false,
+            false,
+            sc.filter,
+            sc.workers,
+            sc.os_batch,
+            sc.kernel_filter,
+        ) {
             Ok(out) => out,
             Err(e) => {
                 failures.push(format!("depth {depth} run deadlocked: {e}"));
@@ -220,7 +312,16 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
     if sc.workload.timing_independent() {
         let sig0 = signature(&base.report);
         for var in metamorphic_variants(sc) {
-            let run = match run_scenario(&var, 8, false, false, var.filter, var.workers) {
+            let run = match run_scenario(
+                &var,
+                8,
+                false,
+                false,
+                var.filter,
+                var.workers,
+                var.os_batch,
+                var.kernel_filter,
+            ) {
                 Ok(out) => out,
                 Err(e) => {
                     failures.push(format!("metamorphic variant {var:?} deadlocked: {e}"));

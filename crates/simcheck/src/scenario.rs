@@ -117,6 +117,18 @@ pub struct Scenario {
     /// so this axis proves the node-partitioned parallel backend
     /// bit-exact across the whole scenario space.
     pub workers: usize,
+    /// Kernel-side OS-port batch depth (ISSUE 6). Must be
+    /// statistics-neutral: the check stack diffs every scenario against
+    /// its `os_batch = 1` twin (the classic one-rendezvous-per-event
+    /// syscall port), so this axis proves the credit-based
+    /// aggregate-reply protocol bit-exact on the kernel path too.
+    pub os_batch: usize,
+    /// Kernel reference filtering (ISSUE 6). Must be
+    /// statistics-neutral: the check stack diffs every scenario against
+    /// its toggled twin, so this axis proves the kernel-side L1/TLB
+    /// mirror with its precharge/credit replay protocol bit-exact
+    /// across the whole scenario space.
+    pub kernel_filter: bool,
 }
 
 impl Scenario {
@@ -174,6 +186,10 @@ impl Scenario {
         // Drawn after `filter` for the same reason: seeds from before the
         // shard-worker axis existed still generate the same scenario.
         let workers = [1usize, 2, 4][rng.gen_range(0..3usize)];
+        // Kernel-path knobs (ISSUE 6), again drawn last so every
+        // historical seed keeps its scenario shape.
+        let os_batch = [1usize, 8, 64][rng.gen_range(0..3usize)];
+        let kernel_filter = rng.gen_bool(0.5);
         Scenario {
             seed,
             workload,
@@ -185,6 +201,8 @@ impl Scenario {
             placement,
             filter,
             workers,
+            os_batch,
+            kernel_filter,
         }
     }
 
@@ -344,6 +362,18 @@ impl Scenario {
             if self.workers > 1 {
                 push(Scenario {
                     workers: 1,
+                    ..*self
+                });
+            }
+            if self.os_batch > 1 {
+                push(Scenario {
+                    os_batch: 1,
+                    ..*self
+                });
+            }
+            if self.kernel_filter {
+                push(Scenario {
+                    kernel_filter: false,
                     ..*self
                 });
             }
@@ -564,6 +594,10 @@ mod tests {
         assert!(scenarios.iter().any(|s| !s.filter));
         assert!(scenarios.iter().any(|s| s.workers == 1));
         assert!(scenarios.iter().any(|s| s.workers > 1));
+        assert!(scenarios.iter().any(|s| s.os_batch == 1));
+        assert!(scenarios.iter().any(|s| s.os_batch > 1));
+        assert!(scenarios.iter().any(|s| s.kernel_filter));
+        assert!(scenarios.iter().any(|s| !s.kernel_filter));
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub mod player;
 pub mod server;
 pub mod specweb;
 
-pub use player::TracePlayer;
+pub use player::{PlayerConfig, PlayerObserved, PlayerStats, TracePlayer};
 pub use server::{worker, ServerConfig, SharedTickets};
 pub use specweb::{generate_fileset, generate_trace, FileSetConfig, Trace, TraceEntry};
 
@@ -72,6 +72,53 @@ mod tests {
         );
         // Network interrupts fired for SYN/data/FIN frames.
         assert!(r.backend.irq_dispatches[1] as u32 >= 3 * requests - 2);
+    }
+
+    /// The scaled client model (keep-alive blocks, slow clients, churned
+    /// connections) still serves every request exactly once, and the
+    /// ticket pool sized by `expected_connections` drains exactly.
+    #[test]
+    fn keep_alive_churn_run_serves_every_request() {
+        let fileset = FileSetConfig { dirs: 1 };
+        let requests = 24u32;
+        let trace = generate_trace(fileset, requests, 7);
+        let cfg = ServerConfig {
+            keep_alive: true,
+            ..Default::default()
+        };
+        let player = TracePlayer::with_config(
+            trace,
+            PlayerConfig {
+                keep_alive: 4,
+                slow_every: 3,
+                slow_factor: 4,
+                churn_every: 2,
+                ..PlayerConfig::http10(4, cfg.port)
+            },
+        );
+        let stats = player.stats();
+        let conns = player.expected_connections();
+        assert_eq!(conns, 6 + 3); // 6 blocks of 4, every 2nd churned
+        let tickets = SharedTickets::new(conns);
+
+        let mut b = SimBuilder::new(ArchConfig::simple_smp(2))
+            .prepare_kernel(move |k| {
+                generate_fileset(k, fileset);
+            })
+            .traffic(player);
+        for _ in 0..2 {
+            b = b.add_process(server::worker(cfg, std::sync::Arc::clone(&tickets)));
+        }
+        b.config_mut().backend.deadlock_ms = 10_000;
+        let r = b.run();
+
+        let seen = stats.observed();
+        assert_eq!(seen.completed, requests as u64, "a trace entry was lost");
+        assert_eq!(seen.churned, 3);
+        assert_eq!(seen.connections, conns);
+        assert_eq!(r.net.conns, conns, "server accepted a different conn count");
+        assert_eq!(seen.latencies.len(), requests as usize);
+        assert!(stats.latency_quantile(0.99) >= stats.latency_quantile(0.5));
     }
 
     /// The same run twice must be bit-identical.

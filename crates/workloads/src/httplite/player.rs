@@ -7,61 +7,178 @@
 //! implement a trace player that reads the trace file and feeds the
 //! requests to a web server."
 //!
-//! The player models a fixed set of HTTP/1.0 clients: each opens a
-//! connection (SYN), sends its GET after the connect handshake, waits for
-//! the full response (it knows the file size from the trace), closes
-//! (FIN), thinks, and plays the next trace entry. Pacing is entirely
-//! response-driven, which is exactly why the paper's authors built a
-//! player instead of using SPECWeb's timeout-bound generator.
+//! The player models a fixed set of HTTP clients. In the classic
+//! HTTP/1.0 mode each client opens a connection (SYN), sends its GET
+//! after the connect handshake, waits for the full response (it knows the
+//! file size from the trace), closes (FIN), thinks, and plays the next
+//! trace entry. Pacing is entirely response-driven, which is exactly why
+//! the paper's authors built a player instead of using SPECWeb's
+//! timeout-bound generator.
+//!
+//! [`PlayerConfig`] extends the model toward large concurrent
+//! connection counts (ISSUE 6): keep-alive sessions that serve a block
+//! of requests per connection, deterministic *slow clients* whose ACK
+//! and think delays are stretched, and connection *churn* — a client
+//! that abandons a response mid-transfer and replays its block on a
+//! fresh connection. Every knob is a pure function of simulated state,
+//! so runs stay bit-reproducible.
 
 use super::specweb::Trace;
 use compass_backend::TrafficSource;
 use compass_comm::{Frame, FrameKind};
 use compass_isa::{ConnId, Cycles, NicId};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Client-model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PlayerConfig {
+    /// Concurrent client slots.
+    pub clients: u32,
+    /// Server TCP port.
+    pub port: u16,
+    /// Gap between SYN and the GET (connect handshake time).
+    pub connect_gap: Cycles,
+    /// Client think time between requests.
+    pub think: Cycles,
+    /// Requests served per connection (the keep-alive block size);
+    /// 1 is the classic HTTP/1.0 one-shot connection.
+    pub keep_alive: u32,
+    /// Every Nth client slot is *slow*: its think and ACK delays are
+    /// multiplied by [`PlayerConfig::slow_factor`]. 0 disables.
+    pub slow_every: u32,
+    /// Delay multiplier for slow clients.
+    pub slow_factor: u64,
+    /// Every Nth request block is *churned*: the client abandons the
+    /// connection on the first response bytes and replays the whole
+    /// block on a fresh connection (once). 0 disables.
+    pub churn_every: u32,
+}
+
+impl PlayerConfig {
+    /// The classic HTTP/1.0 client model (what [`TracePlayer::new`]
+    /// uses).
+    pub fn http10(clients: u32, port: u16) -> Self {
+        Self {
+            clients,
+            port,
+            connect_gap: 30_000,
+            think: 120_000,
+            keep_alive: 1,
+            slow_every: 0,
+            slow_factor: 1,
+            churn_every: 0,
+        }
+    }
+}
+
+/// Shared observation handle: the driver keeps a clone while the player
+/// itself moves into the backend.
+#[derive(Debug, Default)]
+pub struct PlayerStats {
+    inner: Mutex<PlayerObserved>,
+}
+
+/// A snapshot of what the player saw.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PlayerObserved {
+    /// Requests completed (each trace entry exactly once).
+    pub completed: u64,
+    /// Connections abandoned mid-transfer and replayed.
+    pub churned: u64,
+    /// Connections opened (SYNs sent).
+    pub connections: u64,
+    /// Response bytes observed.
+    pub bytes_received: u64,
+    /// Per-completed-request simulated latency, GET to last byte.
+    /// Churned first attempts are not counted; their replay is.
+    pub latencies: Vec<Cycles>,
+}
+
+impl PlayerStats {
+    /// Snapshot.
+    pub fn observed(&self) -> PlayerObserved {
+        self.inner.lock().expect("player stats poisoned").clone()
+    }
+
+    /// The `q`-quantile (0..=1) of completed-request latency, by the
+    /// nearest-rank method; 0 when nothing completed.
+    pub fn latency_quantile(&self, q: f64) -> Cycles {
+        let mut lat = self.observed().latencies;
+        if lat.is_empty() {
+            return 0;
+        }
+        lat.sort_unstable();
+        let rank = ((q * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+        lat[rank - 1]
+    }
+}
+
+/// One live connection (a keep-alive session playing a block of trace
+/// entries).
+struct Session {
+    /// The client slot that owns the session (slow-client selection and
+    /// relaunch identity).
+    client: u32,
+    /// Trace-entry indices still to play on this connection; the front
+    /// entry is in flight.
+    entries: Vec<usize>,
+    /// Body bytes the in-flight response will carry.
+    expected: u64,
+    received: u64,
+    /// Bytes seen since the last ACK was generated.
+    unacked: u64,
+    /// When the in-flight GET was sent (latency measurement).
+    sent_at: Cycles,
+    /// Abandon the connection on the first response bytes (churn model);
+    /// the block replays on a fresh connection with `churn` off.
+    churn: bool,
+}
 
 /// The trace player.
 pub struct TracePlayer {
     trace: Trace,
     next_entry: usize,
-    clients: u32,
-    /// Gap between SYN and the GET (connect handshake time).
-    connect_gap: Cycles,
-    /// Client think time between requests.
-    think: Cycles,
-    port: u16,
+    cfg: PlayerConfig,
     next_conn: u32,
-    live: HashMap<ConnId, Pending>,
+    /// Request blocks reserved so far (drives the churn schedule).
+    next_block: u64,
+    live: HashMap<ConnId, Session>,
+    stats: Arc<PlayerStats>,
     /// Requests completed.
     pub completed: u64,
     /// Response bytes observed.
     pub bytes_received: u64,
 }
 
-struct Pending {
-    expected: u64,
-    received: u64,
-    /// Bytes seen since the last ACK was generated.
-    unacked: u64,
-}
-
 impl TracePlayer {
     /// Creates a player for `trace` with `clients` concurrent HTTP/1.0
     /// clients hitting `port`.
     pub fn new(trace: Trace, clients: u32, port: u16) -> Self {
-        assert!(clients > 0);
+        Self::with_config(trace, PlayerConfig::http10(clients, port))
+    }
+
+    /// Creates a player with the full client model.
+    pub fn with_config(trace: Trace, cfg: PlayerConfig) -> Self {
+        assert!(cfg.clients > 0);
+        assert!(cfg.keep_alive > 0);
         Self {
             trace,
             next_entry: 0,
-            clients,
-            connect_gap: 30_000,
-            think: 120_000,
-            port,
+            cfg,
             next_conn: 1,
+            next_block: 0,
             live: HashMap::new(),
+            stats: Arc::new(PlayerStats::default()),
             completed: 0,
             bytes_received: 0,
         }
+    }
+
+    /// The observation handle (clone it before moving the player into
+    /// the simulation builder).
+    pub fn stats(&self) -> Arc<PlayerStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Total requests in the trace.
@@ -69,25 +186,76 @@ impl TracePlayer {
         self.trace.entries.len()
     }
 
-    /// Schedules one request: SYN, then the GET line.
-    fn launch(&mut self, at: Cycles) -> Vec<(Cycles, Frame)> {
-        let Some(entry) = self.trace.entries.get(self.next_entry) else {
-            return Vec::new();
+    /// How many connections the server will see accept, counting
+    /// keep-alive blocks and churn replays: size the server's ticket
+    /// pool with this. Blocks are reserved `keep_alive` entries at a
+    /// time from one global cursor, so the count is independent of how
+    /// clients interleave.
+    pub fn expected_connections(&self) -> u64 {
+        let e = self.trace.entries.len() as u64;
+        let blocks = e.div_ceil(self.cfg.keep_alive as u64);
+        let churned = if self.cfg.churn_every > 0 {
+            blocks / self.cfg.churn_every as u64
+        } else {
+            0
         };
+        blocks + churned
+    }
+
+    fn is_slow(cfg: &PlayerConfig, client: u32) -> bool {
+        cfg.slow_every > 0 && client % cfg.slow_every == cfg.slow_every - 1
+    }
+
+    fn think_for(cfg: &PlayerConfig, client: u32) -> Cycles {
+        if Self::is_slow(cfg, client) {
+            cfg.think * cfg.slow_factor
+        } else {
+            cfg.think
+        }
+    }
+
+    fn ack_delay_for(cfg: &PlayerConfig, client: u32) -> Cycles {
+        if Self::is_slow(cfg, client) {
+            8_000 * cfg.slow_factor
+        } else {
+            8_000
+        }
+    }
+
+    /// Opens a connection for `entries` (SYN + first GET). `entries`
+    /// must be non-empty.
+    fn open_session(
+        &mut self,
+        client: u32,
+        entries: Vec<usize>,
+        churn: bool,
+        at: Cycles,
+    ) -> Vec<(Cycles, Frame)> {
         let conn = ConnId(self.next_conn);
         self.next_conn += 1;
-        self.next_entry += 1;
+        let first = entries[0];
+        let entry = &self.trace.entries[first];
+        let get = format!("GET {} HTTP/1.0\r\n\r\n", entry.path).into_bytes();
+        let sent_at = at + self.cfg.connect_gap;
         self.live.insert(
             conn,
-            Pending {
+            Session {
+                client,
+                entries,
                 // The server sends a ~128-byte header before the body; any
                 // response of at least the body size counts as complete.
                 expected: entry.size as u64,
                 received: 0,
                 unacked: 0,
+                sent_at,
+                churn,
             },
         );
-        let get = format!("GET {} HTTP/1.0\r\n\r\n", entry.path).into_bytes();
+        self.stats
+            .inner
+            .lock()
+            .expect("player stats poisoned")
+            .connections += 1;
         vec![
             (
                 at,
@@ -95,76 +263,152 @@ impl TracePlayer {
                     nic: NicId(0),
                     conn,
                     kind: FrameKind::Syn,
-                    payload: self.port.to_be_bytes().to_vec(),
+                    payload: self.cfg.port.to_be_bytes().to_vec(),
                     time: at,
                 },
             ),
             (
-                at + self.connect_gap,
+                sent_at,
                 Frame {
                     nic: NicId(0),
                     conn,
                     kind: FrameKind::Data,
                     payload: get,
-                    time: at + self.connect_gap,
+                    time: sent_at,
                 },
             ),
         ]
+    }
+
+    /// Reserves the next request block and opens a connection for it.
+    fn launch(&mut self, client: u32, at: Cycles) -> Vec<(Cycles, Frame)> {
+        let left = self.trace.entries.len() - self.next_entry;
+        if left == 0 {
+            return Vec::new();
+        }
+        let take = (self.cfg.keep_alive as usize).min(left);
+        let entries: Vec<usize> = (self.next_entry..self.next_entry + take).collect();
+        self.next_entry += take;
+        let block = self.next_block;
+        self.next_block += 1;
+        let churn = self.cfg.churn_every > 0
+            && block % self.cfg.churn_every as u64 == self.cfg.churn_every as u64 - 1;
+        self.open_session(client, entries, churn, at)
+    }
+
+    fn fin(conn: ConnId, at: Cycles) -> (Cycles, Frame) {
+        (
+            at,
+            Frame {
+                nic: NicId(0),
+                conn,
+                kind: FrameKind::Fin,
+                payload: Vec::new(),
+                time: at,
+            },
+        )
     }
 }
 
 impl TrafficSource for TracePlayer {
     fn initial(&mut self) -> Vec<(Cycles, Frame)> {
         let mut frames = Vec::new();
-        let n = (self.clients as usize).min(self.trace.entries.len());
-        for i in 0..n {
+        for i in 0..self.cfg.clients {
             // Stagger client start-up the way independent clients arrive.
-            frames.extend(self.launch(10_000 + i as Cycles * 25_000));
+            let batch = self.launch(i, 10_000 + i as Cycles * 25_000);
+            if batch.is_empty() {
+                break; // trace exhausted
+            }
+            frames.extend(batch);
         }
         frames
     }
 
     fn on_tx(&mut self, conn: ConnId, bytes: u32, now: Cycles) -> Vec<(Cycles, Frame)> {
-        let Some(p) = self.live.get_mut(&conn) else {
+        let Some(s) = self.live.get_mut(&conn) else {
             return Vec::new(); // header/FIN on an already-finished conn
         };
-        p.received += bytes as u64;
-        p.unacked += bytes as u64;
+        s.received += bytes as u64;
+        s.unacked += bytes as u64;
         self.bytes_received += bytes as u64;
-        if p.received < p.expected {
+        self.stats
+            .inner
+            .lock()
+            .expect("player stats poisoned")
+            .bytes_received += bytes as u64;
+
+        if s.churn {
+            // Churn: abandon on the very first response bytes (so the
+            // replay connection always materialises — the server's
+            // ticket pool counts on it) and replay the whole block.
+            let s = self.live.remove(&conn).unwrap();
+            self.stats
+                .inner
+                .lock()
+                .expect("player stats poisoned")
+                .churned += 1;
+            let think = Self::think_for(&self.cfg, s.client);
+            let mut frames = vec![Self::fin(conn, now + 2_000)];
+            frames.extend(self.open_session(s.client, s.entries, false, now + think));
+            return frames;
+        }
+
+        if s.received < s.expected {
             // Delayed ACK: one ACK per two full segments, as 4.4BSD-era
             // stacks generate — each one costs the server an Ethernet
             // interrupt plus TCP input processing.
-            if p.unacked >= 2 * 1460 {
-                p.unacked = 0;
+            if s.unacked >= 2 * 1460 {
+                s.unacked = 0;
+                let delay = Self::ack_delay_for(&self.cfg, s.client);
                 return vec![(
-                    now + 8_000,
+                    now + delay,
                     Frame {
                         nic: NicId(0),
                         conn,
                         kind: FrameKind::Ack,
                         payload: Vec::new(),
-                        time: now + 8_000,
+                        time: now + delay,
                     },
                 )];
             }
             return Vec::new();
         }
-        // Response complete: close this connection and play the next
-        // entry after the think time.
-        self.live.remove(&conn);
+
+        // Response complete.
         self.completed += 1;
-        let mut frames = vec![(
-            now + 5_000,
-            Frame {
-                nic: NicId(0),
-                conn,
-                kind: FrameKind::Fin,
-                payload: Vec::new(),
-                time: now + 5_000,
-            },
-        )];
-        frames.extend(self.launch(now + self.think));
+        let latency = now.saturating_sub(s.sent_at);
+        {
+            let mut g = self.stats.inner.lock().expect("player stats poisoned");
+            g.completed += 1;
+            g.latencies.push(latency);
+        }
+        let client = s.client;
+        let think = Self::think_for(&self.cfg, client);
+        s.entries.remove(0);
+        if let Some(&next) = s.entries.first() {
+            // Keep-alive: next GET on the same connection after thinking.
+            let entry = &self.trace.entries[next];
+            let get = format!("GET {} HTTP/1.0\r\n\r\n", entry.path).into_bytes();
+            s.expected = entry.size as u64;
+            s.received = 0;
+            s.unacked = 0;
+            s.sent_at = now + think;
+            return vec![(
+                now + think,
+                Frame {
+                    nic: NicId(0),
+                    conn,
+                    kind: FrameKind::Data,
+                    payload: get,
+                    time: now + think,
+                },
+            )];
+        }
+        // Block done: close this connection and play the next block
+        // after the think time.
+        self.live.remove(&conn);
+        let mut frames = vec![Self::fin(conn, now + 5_000)];
+        frames.extend(self.launch(client, now + think));
         frames
     }
 }
@@ -175,11 +419,15 @@ mod tests {
     use crate::httplite::specweb::TraceEntry;
 
     fn trace(n: usize) -> Trace {
+        trace_sized(n, 1_000)
+    }
+
+    fn trace_sized(n: usize, size: u32) -> Trace {
         Trace {
             entries: (0..n)
                 .map(|i| TraceEntry {
                     path: format!("/f{i}"),
-                    size: 1_000,
+                    size,
                 })
                 .collect(),
         }
@@ -226,5 +474,98 @@ mod tests {
     fn unknown_conn_tx_is_ignored() {
         let mut p = TracePlayer::new(trace(1), 1, 80);
         assert!(p.on_tx(ConnId(99), 100, 0).is_empty());
+    }
+
+    #[test]
+    fn keep_alive_reuses_the_connection_for_a_block() {
+        let mut p = TracePlayer::with_config(
+            trace(4),
+            PlayerConfig {
+                keep_alive: 3,
+                ..PlayerConfig::http10(1, 80)
+            },
+        );
+        assert_eq!(p.expected_connections(), 2); // blocks of 3 + 1
+        let first = p.initial();
+        assert_eq!(first.len(), 2); // one client: SYN + GET only
+        let conn = first[0].1.conn;
+        // First response completes: next GET rides the same connection.
+        let frames = p.on_tx(conn, 1_200, 1_000_000);
+        assert_eq!(frames.len(), 1);
+        assert!(matches!(frames[0].1.kind, FrameKind::Data));
+        assert_eq!(frames[0].1.conn, conn, "keep-alive reuses the conn");
+        // Second completes the same way; third ends the block: FIN plus
+        // a fresh connection for the final singleton block.
+        let _ = p.on_tx(conn, 1_200, 2_000_000);
+        let frames = p.on_tx(conn, 1_200, 3_000_000);
+        assert_eq!(frames.len(), 3);
+        assert!(matches!(frames[0].1.kind, FrameKind::Fin));
+        assert!(matches!(frames[1].1.kind, FrameKind::Syn));
+        assert_ne!(frames[1].1.conn, conn);
+        assert_eq!(p.completed, 3);
+    }
+
+    #[test]
+    fn churned_blocks_replay_on_a_fresh_connection() {
+        let mut p = TracePlayer::with_config(
+            trace(2),
+            PlayerConfig {
+                churn_every: 1, // every block churns once
+                ..PlayerConfig::http10(1, 80)
+            },
+        );
+        assert_eq!(p.expected_connections(), 4); // 2 blocks, each replayed
+        let first = p.initial();
+        let conn = first[0].1.conn;
+        // First response bytes: abandon (FIN) + replay SYN/GET.
+        let frames = p.on_tx(conn, 128, 1_000_000);
+        assert_eq!(frames.len(), 3);
+        assert!(matches!(frames[0].1.kind, FrameKind::Fin));
+        assert!(matches!(frames[1].1.kind, FrameKind::Syn));
+        let retry = frames[1].1.conn;
+        assert_ne!(retry, conn);
+        assert_eq!(p.completed, 0, "churned attempt does not complete");
+        // Late bytes for the dead connection are ignored.
+        assert!(p.on_tx(conn, 1_000, 1_100_000).is_empty());
+        // The replay completes normally and never churns again.
+        let frames = p.on_tx(retry, 1_200, 2_000_000);
+        assert!(matches!(frames[0].1.kind, FrameKind::Fin));
+        assert_eq!(p.completed, 1);
+        assert_eq!(p.stats().observed().churned, 1);
+    }
+
+    #[test]
+    fn slow_clients_stretch_their_delays() {
+        let mut p = TracePlayer::with_config(
+            trace_sized(8, 20_000),
+            PlayerConfig {
+                slow_every: 2, // clients 1, 3, … are slow
+                slow_factor: 10,
+                ..PlayerConfig::http10(2, 80)
+            },
+        );
+        let first = p.initial();
+        let (fast, slow) = (first[0].1.conn, first[2].1.conn);
+        // Partial data below the delayed-ACK threshold: silence from both.
+        assert!(p.on_tx(fast, 100, 1_000_000).is_empty());
+        assert!(p.on_tx(slow, 100, 1_000_000).is_empty());
+        // Crossing two segments: the slow client ACKs 10x later.
+        let a = p.on_tx(fast, 2 * 1460, 1_000_000);
+        let b = p.on_tx(slow, 2 * 1460, 1_000_000);
+        assert_eq!(a[0].0, 1_008_000);
+        assert_eq!(b[0].0, 1_080_000);
+    }
+
+    #[test]
+    fn latency_quantile_uses_nearest_rank() {
+        let p = TracePlayer::new(trace(1), 1, 80);
+        let stats = p.stats();
+        {
+            let mut g = stats.inner.lock().unwrap();
+            g.latencies = vec![50, 10, 40, 20, 30];
+        }
+        assert_eq!(stats.latency_quantile(0.5), 30);
+        assert_eq!(stats.latency_quantile(0.99), 50);
+        assert_eq!(stats.latency_quantile(1.0), 50);
     }
 }

@@ -24,6 +24,13 @@ pub struct ServerConfig {
     /// Use `select` before `naccept` (exercises the paper's select-heavy
     /// profile); plain blocking accept otherwise.
     pub use_select: bool,
+    /// Serve multiple requests per accepted connection: after each
+    /// response the worker `recv`s again, and an empty read (client FIN)
+    /// ends the connection. Off reproduces the classic one-request
+    /// HTTP/1.0 flow. With keep-alive on, size the ticket pool with
+    /// [`super::TracePlayer::expected_connections`] — tickets gate
+    /// *accepts*, and connections now carry whole request blocks.
+    pub keep_alive: bool,
 }
 
 impl Default for ServerConfig {
@@ -33,6 +40,7 @@ impl Default for ServerConfig {
             chunk: 8_192,
             shm_key: 0x11BB,
             use_select: true,
+            keep_alive: false,
         }
     }
 }
@@ -103,67 +111,102 @@ pub fn worker(cfg: ServerConfig, tickets: Arc<SharedTickets>) -> impl FnMut(&mut
                 other => panic!("accept: {other:?}"),
             };
 
-            // Read the request line.
-            let request = match cpu.os_call(OsCall::Recv {
-                fd,
-                len: cfg.chunk,
-                buf,
-            }) {
-                Ok(SysVal::Data(d)) => d,
-                other => panic!("recv: {other:?}"),
-            };
-            let path = parse_get(&request);
+            // One request per iteration; keep-alive connections loop
+            // until the client closes (empty read = EOF).
+            let mut conn_closed = false;
+            loop {
+                // Read the request line.
+                let request = match cpu.os_call(OsCall::Recv {
+                    fd,
+                    len: cfg.chunk,
+                    buf,
+                }) {
+                    Ok(SysVal::Data(d)) => d,
+                    other => panic!("recv: {other:?}"),
+                };
+                if cfg.keep_alive && request.is_empty() {
+                    break; // client finished its request block
+                }
+                let path = parse_get(&request);
 
-            // User-mode request handling: URI parsing, access checks,
-            // logging, header formatting — Apache burns ~10k instructions
-            // of user time per request (the paper measures 14.9% user).
-            cpu.compute(15_000);
-            cpu.touch_range(buf, request.len().max(64) as u32, 64, false);
-            cpu.touch_range(buf + 2048, 512, 64, true); // log record
+                // User-mode request handling: URI parsing, access checks,
+                // logging, header formatting — Apache burns ~10k
+                // instructions of user time per request (the paper
+                // measures 14.9% user).
+                cpu.compute(15_000);
+                cpu.touch_range(buf, request.len().max(64) as u32, 64, false);
+                cpu.touch_range(buf + 2048, 512, 64, true); // log record
 
-            match path {
-                Some(path) => {
-                    let len = match cpu.os_call(OsCall::Stat { path: path.clone() }) {
-                        Ok(SysVal::Stat(st)) => st.len,
-                        Err(Errno::NoEnt) => {
-                            send_all(cpu, fd, 64, buf); // 404
-                            let _ = cpu.os_call(OsCall::Close { fd });
-                            continue;
-                        }
-                        other => panic!("stat: {other:?}"),
-                    };
-                    let ffd = expect_fd(cpu.os_call(OsCall::Open {
-                        path,
-                        create: false,
-                    }));
-                    // Header formatting, then the body in chunks.
-                    cpu.compute(1_800);
-                    send_all(cpu, fd, 128, buf);
-                    let mut off = 0u64;
-                    while off < len {
-                        let n = (cfg.chunk as u64).min(len - off) as u32;
-                        match cpu.os_call(OsCall::ReadAt {
-                            fd: ffd,
-                            off,
-                            len: n,
-                            buf,
-                        }) {
-                            Ok(SysVal::Data(d)) if !d.is_empty() => {
-                                cpu.compute(700); // buffer management per chunk
-                                send_all(cpu, fd, d.len() as u32, buf);
-                                off += d.len() as u64;
+                match path {
+                    Some(path) => {
+                        let len = match cpu.os_call(OsCall::Stat { path: path.clone() }) {
+                            Ok(SysVal::Stat(st)) => st.len,
+                            Err(Errno::NoEnt) => {
+                                send_all(cpu, fd, 64, buf); // 404
+                                if cfg.keep_alive {
+                                    continue; // the connection survives
+                                }
+                                let _ = cpu.os_call(OsCall::Close { fd });
+                                conn_closed = true;
+                                break;
                             }
-                            Ok(SysVal::Data(_)) => break,
-                            other => panic!("read: {other:?}"),
+                            other => panic!("stat: {other:?}"),
+                        };
+                        let ffd = expect_fd(cpu.os_call(OsCall::Open {
+                            path,
+                            create: false,
+                        }));
+                        // Header formatting, then the body in chunks.
+                        cpu.compute(1_800);
+                        send_all(cpu, fd, 128, buf);
+                        let mut off = 0u64;
+                        while off < len {
+                            let n = (cfg.chunk as u64).min(len - off) as u32;
+                            match cpu.os_call(OsCall::ReadAt {
+                                fd: ffd,
+                                off,
+                                len: n,
+                                buf,
+                            }) {
+                                Ok(SysVal::Data(d)) if !d.is_empty() => {
+                                    cpu.compute(700); // buffer management per chunk
+                                    send_all(cpu, fd, d.len() as u32, buf);
+                                    off += d.len() as u64;
+                                }
+                                Ok(SysVal::Data(_)) => break,
+                                other => panic!("read: {other:?}"),
+                            }
+                        }
+                        if cfg.keep_alive {
+                            let _ = cpu.os_call(OsCall::Close { fd: ffd });
+                        } else {
+                            // The file close and the connection close are
+                            // adjacent (no user work between them): one
+                            // batched port crossing, identical timeline.
+                            for r in cpu.os_call_batch(vec![
+                                OsCall::Close { fd: ffd },
+                                OsCall::Close { fd },
+                            ]) {
+                                let _ = r;
+                            }
+                            conn_closed = true;
+                            break;
                         }
                     }
-                    let _ = cpu.os_call(OsCall::Close { fd: ffd });
+                    None => {
+                        send_all(cpu, fd, 64, buf); // 400 Bad Request
+                        if !cfg.keep_alive {
+                            break; // the close below ends the connection
+                        }
+                    }
                 }
-                None => {
-                    send_all(cpu, fd, 64, buf); // 400 Bad Request
+                if !cfg.keep_alive {
+                    break;
                 }
             }
-            let _ = cpu.os_call(OsCall::Close { fd });
+            if !conn_closed {
+                let _ = cpu.os_call(OsCall::Close { fd });
+            }
         }
     }
 }

@@ -201,6 +201,78 @@ fn kernel_time_is_attributed_to_kernel_mode() {
 }
 
 #[test]
+fn batched_syscall_errors_are_per_call_and_depth_invariant() {
+    // ISSUE 6: `CallBatch` carries adjacent syscalls in one port
+    // crossing. Failures must come back *per call* — an errno in the
+    // middle of a batch aborts nothing — and the simulated timeline must
+    // be identical to issuing the same calls one `Call` at a time, at
+    // any kernel batch depth, filtered or not.
+    fn run_once(batched: bool, kernel_batch_depth: usize, kernel_filter: bool) -> u64 {
+        let mut b = SimBuilder::new(ArchConfig::simple_smp(1))
+            .prepare_kernel(|k| {
+                k.create_file("/f", compass_os::fs::FileData::Synthetic { len: 4_096 });
+            })
+            .add_process(move |cpu: &mut CpuCtx| {
+                let fd = match cpu.os_call(OsCall::Open {
+                    path: "/f".into(),
+                    create: false,
+                }) {
+                    Ok(SysVal::NewFd(fd)) => fd,
+                    other => panic!("{other:?}"),
+                };
+                let calls = vec![
+                    OsCall::Stat { path: "/f".into() },
+                    OsCall::Open {
+                        path: "/missing".into(),
+                        create: false,
+                    },
+                    OsCall::Close { fd },
+                    OsCall::Close { fd }, // double close
+                ];
+                let results = if batched {
+                    cpu.os_call_batch(calls)
+                } else {
+                    calls.into_iter().map(|c| cpu.os_call(c)).collect()
+                };
+                assert!(
+                    matches!(results[0], Ok(SysVal::Stat(ref st)) if st.len == 4_096),
+                    "stat: {:?}",
+                    results[0]
+                );
+                assert_eq!(
+                    results[1],
+                    Err(compass_os::Errno::NoEnt),
+                    "missing file must fail mid-batch"
+                );
+                assert_eq!(results[2], Ok(SysVal::Unit), "close after an error runs");
+                assert_eq!(
+                    results[3],
+                    Err(compass_os::Errno::BadF),
+                    "double close must fail per-call"
+                );
+            });
+        let c = b.config_mut();
+        c.backend.deadlock_ms = 3_000;
+        c.kernel_batch_depth = kernel_batch_depth;
+        c.kernel_filter = kernel_filter;
+        b.run().backend.global_cycles
+    }
+    let anchor = run_once(false, 1, false);
+    for (batched, kb, kf) in [
+        (true, 1, false),
+        (true, 64, false),
+        (false, 64, true),
+        (true, 8, true),
+    ] {
+        assert_eq!(
+            run_once(batched, kb, kf),
+            anchor,
+            "timeline moved: batched={batched} kernel_batch_depth={kb} kernel_filter={kf}"
+        );
+    }
+}
+
+#[test]
 fn pseudo_interrupt_path_stays_deterministic() {
     // §3.2's user-mode delivery: the frontend checks the interrupt flag on
     // the way out of every event rendezvous and forwards a pseudo

@@ -15,6 +15,14 @@ use std::sync::Arc;
 const TERMINALS: usize = 3;
 
 fn run_tpcc(workers: usize) -> (RunReport, Vec<TerminalStats>) {
+    run_tpcc_with(workers, 8, false)
+}
+
+fn run_tpcc_with(
+    workers: usize,
+    kernel_batch_depth: usize,
+    kernel_filter: bool,
+) -> (RunReport, Vec<TerminalStats>) {
     let cfg = TpccConfig {
         txns_per_terminal: 5,
         seed: 0xA27C,
@@ -46,6 +54,8 @@ fn run_tpcc(workers: usize) -> (RunReport, Vec<TerminalStats>) {
     c.backend.deadlock_ms = 30_000;
     c.backend.timer_interval = Some(2_000_000);
     c.backend.workers = workers;
+    c.kernel_batch_depth = kernel_batch_depth;
+    c.kernel_filter = kernel_filter;
     let report = b.run();
     let terminals = sink.lock().clone();
     (report, terminals)
@@ -73,11 +83,11 @@ fn fixed_seed_tpcc_results_are_pinned() {
     // Headline backend quantities. These literals anchor the simulated
     // timeline itself.
     let b = &report.backend;
-    assert_eq!(b.global_cycles, 14_399_734, "global cycles moved");
-    assert_eq!(b.events, 5_465, "backend event count moved");
+    assert_eq!(b.global_cycles, 14_399_824, "global cycles moved");
+    assert_eq!(b.events, 5_444, "backend event count moved");
     assert_eq!(
         b.mem.accesses,
-        [2_743, 2_513, 104],
+        [2_743, 2_513, 90],
         "memory access counts moved"
     );
     assert_eq!(b.sync.barriers, 0, "barrier episode count moved");
@@ -104,4 +114,20 @@ fn fixed_seed_tpcc_results_are_pinned() {
         format!("{:#?}", sharded.backend),
         "BackendStats moved under shard workers"
     );
+
+    // OS-port batching and kernel-reference filtering are pure transport
+    // optimisations: any depth, filtered or not, must replay to the very
+    // same anchor (the credit/replay invariants — see DESIGN.md).
+    for (kb, kf) in [(1, false), (64, false), (8, true), (1, true)] {
+        let (twin, terminals_twin) = run_tpcc_with(1, kb, kf);
+        assert_eq!(
+            terminals, terminals_twin,
+            "terminal stats moved at kernel_batch_depth={kb} kernel_filter={kf}"
+        );
+        assert_eq!(
+            format!("{:#?}", report.backend),
+            format!("{:#?}", twin.backend),
+            "BackendStats moved at kernel_batch_depth={kb} kernel_filter={kf}"
+        );
+    }
 }
