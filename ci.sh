@@ -28,6 +28,10 @@ diff -u target/quickstart-base.out target/quickstart-shard.out
 # kernel-path speedup artifact.
 cargo run --release -q -p compass-bench --bin report_http -- --smoke
 cargo run --release -q -p compass-bench --bin report_http -- --short >target/BENCH_http_short.json
+# Checkpoint smoke: fast-forward + checkpoint + resume on TPC-C; the
+# binary hard-gates on the resumed BackendStats being bit-identical to
+# the recording run and exits nonzero otherwise.
+cargo run --release -q -p compass-bench --bin report_ckpt -- --smoke >target/BENCH_ckpt_smoke.json
 # Clippy over both feature combinations: default and with the per-step
 # invariant layer (which adds the mirror/epoch and shard assertions).
 cargo clippy --all-targets --workspace -- -D warnings

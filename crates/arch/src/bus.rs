@@ -40,6 +40,24 @@ impl BusyResource {
         wait + occupancy
     }
 
+    /// Serializes the full occupancy state (including the `busy_until`
+    /// horizon — dropping it would change queueing after a restore).
+    pub fn encode_snapshot(&self, w: &mut compass_snap::Writer) {
+        w.u64(self.busy_until);
+        w.u64(self.busy_cycles);
+        w.u64(self.queue_cycles);
+        w.u64(self.transactions);
+    }
+
+    /// Restores a snapshot taken by [`BusyResource::encode_snapshot`].
+    pub fn decode_snapshot(&mut self, r: &mut compass_snap::Reader) -> compass_snap::Result<()> {
+        self.busy_until = r.u64()?;
+        self.busy_cycles = r.u64()?;
+        self.queue_cycles = r.u64()?;
+        self.transactions = r.u64()?;
+        Ok(())
+    }
+
     /// Utilisation over an interval of `elapsed` cycles.
     pub fn utilisation(&self, elapsed: Cycles) -> f64 {
         if elapsed == 0 {

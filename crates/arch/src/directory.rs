@@ -245,6 +245,66 @@ impl Directory {
         self.entries.iter().map(|(&l, &e)| (l, e))
     }
 
+    /// Serializes all entries (sorted by line index, so two identical
+    /// directories always produce identical bytes regardless of hash-map
+    /// iteration order) plus the counters.
+    pub fn encode_snapshot(&self, w: &mut compass_snap::Writer) {
+        let mut lines: Vec<(u64, DirEntry)> = self.entries.iter().map(|(&l, &e)| (l, e)).collect();
+        lines.sort_unstable_by_key(|&(l, _)| l);
+        w.u64(lines.len() as u64);
+        for (line, e) in lines {
+            w.u64(line);
+            match e {
+                DirEntry::Uncached => w.u8(0),
+                DirEntry::Shared(mask) => {
+                    w.u8(1);
+                    w.u64(mask);
+                }
+                DirEntry::Owned(owner) => {
+                    w.u8(2);
+                    w.u16(owner);
+                }
+            }
+        }
+        for f in [
+            self.stats.reads,
+            self.stats.writes,
+            self.stats.upgrades,
+            self.stats.invalidations,
+            self.stats.forwards,
+            self.stats.writebacks,
+        ] {
+            w.u64(f);
+        }
+    }
+
+    /// Restores a snapshot taken by [`Directory::encode_snapshot`],
+    /// replacing all current entries and counters.
+    pub fn decode_snapshot(&mut self, r: &mut compass_snap::Reader) -> compass_snap::Result<()> {
+        let n = r.seq_len(9)?;
+        let mut entries = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let line = r.u64()?;
+            let e = match r.u8()? {
+                0 => DirEntry::Uncached,
+                1 => DirEntry::Shared(r.u64()?),
+                2 => DirEntry::Owned(r.u16()?),
+                _ => return Err(compass_snap::SnapError::Corrupt("directory entry tag")),
+            };
+            entries.insert(line, e);
+        }
+        self.entries = entries;
+        self.stats = DirStats {
+            reads: r.u64()?,
+            writes: r.u64()?,
+            upgrades: r.u64()?,
+            invalidations: r.u64()?,
+            forwards: r.u64()?,
+            writebacks: r.u64()?,
+        };
+        Ok(())
+    }
+
     /// Invariant check used by property tests: each entry's mask is
     /// non-empty, owned entries name a valid CPU.
     pub fn check_invariants(&self, ncpus: u16) -> Result<(), String> {

@@ -112,6 +112,49 @@ impl Hierarchy {
         &self.cfg
     }
 
+    /// Deterministic hash of the architecture configuration, stored in
+    /// checkpoint headers: a checkpoint is meaningless against a
+    /// different memory system, so resume refuses a mismatch. FNV over
+    /// the `Debug` rendering is stable across processes and builds of
+    /// the same source (unlike `DefaultHasher`, whose keys are
+    /// unspecified).
+    pub fn config_hash(cfg: &ArchConfig) -> u64 {
+        compass_snap::fnv1a64(format!("{cfg:?}").as_bytes())
+    }
+
+    /// Serializes the complete memory-system state — every node slice
+    /// (caches with exact LRU layout, bus/controller occupancy, slice
+    /// directory, private stats), the global directory, the network and
+    /// the global-path counters. Taken at a quiesced cut, this is the
+    /// whole timing-relevant state of the architecture model.
+    pub fn encode_snapshot(&self, w: &mut compass_snap::Writer) {
+        w.u64(self.cfg.nodes as u64);
+        for n in 0..self.cfg.nodes {
+            self.sl_ref(n).encode_snapshot(w);
+        }
+        self.dir.encode_snapshot(w);
+        self.net.encode_snapshot(w);
+        self.stats.encode_snapshot(w);
+    }
+
+    /// Restores a snapshot taken by [`Hierarchy::encode_snapshot`] into
+    /// a hierarchy built from the same configuration. Errors (never
+    /// panics) on shape mismatches or malformed bytes; `epoch_victims`
+    /// is cleared — a restore is not an access.
+    pub fn decode_snapshot(&mut self, r: &mut compass_snap::Reader) -> compass_snap::Result<()> {
+        if r.u64()? != self.cfg.nodes as u64 {
+            return Err(compass_snap::SnapError::Corrupt("node count"));
+        }
+        for n in 0..self.cfg.nodes {
+            self.sl(n).decode_snapshot(r)?;
+        }
+        self.dir.decode_snapshot(r)?;
+        self.net.decode_snapshot(r)?;
+        self.stats = MemStats::decode_snapshot(r)?;
+        self.epoch_victims.clear();
+        Ok(())
+    }
+
     /// A shared handle to the per-node slices, for shard workers.
     pub fn share_slices(&self) -> Arc<SliceArena> {
         Arc::clone(&self.slices)

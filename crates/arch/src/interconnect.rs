@@ -110,6 +110,35 @@ impl Interconnect {
     pub fn nodes(&self) -> usize {
         self.nodes
     }
+
+    /// Serializes every interface's occupancy state and the counters
+    /// (topology and node count come from the configuration).
+    pub fn encode_snapshot(&self, w: &mut compass_snap::Writer) {
+        w.u64(self.interfaces.len() as u64);
+        for iface in &self.interfaces {
+            iface.encode_snapshot(w);
+        }
+        w.u64(self.stats.messages);
+        w.u64(self.stats.bytes);
+        w.u64(self.stats.hops);
+    }
+
+    /// Restores a snapshot taken by [`Interconnect::encode_snapshot`]
+    /// into a same-shape network.
+    pub fn decode_snapshot(&mut self, r: &mut compass_snap::Reader) -> compass_snap::Result<()> {
+        if r.u64()? != self.interfaces.len() as u64 {
+            return Err(compass_snap::SnapError::Corrupt("interface count"));
+        }
+        for iface in &mut self.interfaces {
+            iface.decode_snapshot(r)?;
+        }
+        self.stats = NetStats {
+            messages: r.u64()?,
+            bytes: r.u64()?,
+            hops: r.u64()?,
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -136,6 +136,60 @@ impl NodeSlice {
         }
     }
 
+    /// Serializes everything a checkpoint must restore for this node:
+    /// every private cache (exact LRU state included), the bus and
+    /// memory-controller occupancy horizons, the slice directory and the
+    /// private-path counters. Derived geometry fields are rebuilt from
+    /// the configuration instead.
+    pub fn encode_snapshot(&self, w: &mut compass_snap::Writer) {
+        w.u64(self.l1.len() as u64);
+        for c in &self.l1 {
+            c.encode_snapshot(w);
+        }
+        w.u64(self.l2.len() as u64);
+        for c in &self.l2 {
+            c.encode_snapshot(w);
+        }
+        w.bool(self.am.is_some());
+        if let Some(am) = &self.am {
+            am.encode_snapshot(w);
+        }
+        self.bus.encode_snapshot(w);
+        self.mem.encode_snapshot(w);
+        self.dir.encode_snapshot(w);
+        self.stats.encode_snapshot(w);
+    }
+
+    /// Restores a snapshot taken by [`NodeSlice::encode_snapshot`] into a
+    /// slice built from the same configuration.
+    pub fn decode_snapshot(&mut self, r: &mut compass_snap::Reader) -> compass_snap::Result<()> {
+        if r.u64()? != self.l1.len() as u64 {
+            return Err(compass_snap::SnapError::Corrupt("L1 count"));
+        }
+        for c in &mut self.l1 {
+            c.decode_snapshot(r)?;
+        }
+        if r.u64()? != self.l2.len() as u64 {
+            return Err(compass_snap::SnapError::Corrupt("L2 count"));
+        }
+        for c in &mut self.l2 {
+            c.decode_snapshot(r)?;
+        }
+        if r.bool()? != self.am.is_some() {
+            return Err(compass_snap::SnapError::Corrupt(
+                "attraction-memory presence",
+            ));
+        }
+        if let Some(am) = &mut self.am {
+            am.decode_snapshot(r)?;
+        }
+        self.bus.decode_snapshot(r)?;
+        self.mem.decode_snapshot(r)?;
+        self.dir.decode_snapshot(r)?;
+        self.stats = MemStats::decode_snapshot(r)?;
+        Ok(())
+    }
+
     #[inline]
     fn coh_line_size(&self) -> u32 {
         1 << self.coh_shift

@@ -95,6 +95,57 @@ impl MemStats {
         }
     }
 
+    /// Serializes every counter.
+    pub fn encode_snapshot(&self, w: &mut compass_snap::Writer) {
+        for arr in [
+            &self.accesses,
+            &self.l1_hits,
+            &self.l2_hits,
+            &self.am_hits,
+            &self.remote_accesses,
+            &self.local_accesses,
+            &self.latency,
+        ] {
+            for &f in arr {
+                w.u64(f);
+            }
+        }
+        for f in [
+            self.forwards,
+            self.invalidations_delivered,
+            self.dsm_faults,
+            self.dsm_bytes,
+        ] {
+            w.u64(f);
+        }
+    }
+
+    /// Restores a snapshot taken by [`MemStats::encode_snapshot`].
+    pub fn decode_snapshot(r: &mut compass_snap::Reader) -> compass_snap::Result<Self> {
+        let mut s = MemStats::default();
+        {
+            let mut arrays = [
+                &mut s.accesses,
+                &mut s.l1_hits,
+                &mut s.l2_hits,
+                &mut s.am_hits,
+                &mut s.remote_accesses,
+                &mut s.local_accesses,
+                &mut s.latency,
+            ];
+            for arr in arrays.iter_mut() {
+                for f in arr.iter_mut() {
+                    *f = r.u64()?;
+                }
+            }
+        }
+        s.forwards = r.u64()?;
+        s.invalidations_delivered = r.u64()?;
+        s.dsm_faults = r.u64()?;
+        s.dsm_bytes = r.u64()?;
+        Ok(s)
+    }
+
     /// Folds another stats block into this one.
     pub fn merge(&mut self, other: &MemStats) {
         for i in 0..3 {

@@ -1,0 +1,344 @@
+//! Deterministic checkpoint/restore (ISSUE 8).
+//!
+//! COMPASS frontends are host threads running real closures, so their
+//! "state" lives on host stacks and cannot be serialized. A checkpoint
+//! therefore records the *architecture-model outcomes* instead: every
+//! [`crate::Backend::mem_access`] and DSM page-transfer result, in engine
+//! service order, plus one snapshot of the memory hierarchy taken at a
+//! quiesced cut (in-flight window drained, nothing staged).
+//!
+//! Resume re-executes everything live — frontend closures, OS-server
+//! threads, scheduler, VM, devices — but feeds the architecture models
+//! from the recorded stream, *validating* each request (cpu, paddr,
+//! write, class, home) against what was recorded. This is the
+//! resume-identity oracle: any nondeterminism between the recording run
+//! and the resumed run surfaces as [`crate::RunError::ResumeDiverged`]
+//! instead of silently skewed statistics. At the cut, the stream must be
+//! exactly exhausted; the hierarchy snapshot is swapped in and the run
+//! continues fully live, bit-identical to the recording run by
+//! construction.
+//!
+//! Recording, replay, and fast-forward all force the classic inline
+//! engine path (the shard-worker private-access classifier is disabled,
+//! exactly as when a simcheck trace recorder is attached), so the stream
+//! order is the engine's deterministic pop order regardless of
+//! `backend_workers`, batch depth, or reference filtering.
+//!
+//! File format: a `compass-snap` frame (`seal`/`unseal`, FNV-1a
+//! checksummed, version-tagged) whose payload is the header
+//! (architecture-config hash, fast-forward event count, cut event
+//! ordinal), the record stream, and the raw hierarchy snapshot bytes.
+//! Any corruption or truncation decodes to a structured error — never a
+//! panic. Versioning rule: bump [`CKPT_VERSION`] whenever the payload
+//! layout *or the meaning of a recorded field* changes; old files are
+//! rejected, never reinterpreted.
+
+use compass_snap::{seal, unseal, Reader, SnapError, Writer};
+use std::path::PathBuf;
+
+/// Checkpoint frame version (see the module docs for the bump rule).
+pub const CKPT_VERSION: u32 = 1;
+
+/// One recorded architecture-model outcome, in engine service order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchRecord {
+    /// A [`compass_arch::Hierarchy::access`] call and its result.
+    Access {
+        /// Requesting CPU.
+        cpu: u32,
+        /// Physical address accessed.
+        paddr: u64,
+        /// Store or read-modify-write.
+        write: bool,
+        /// Dense [`compass_arch::AccessClass`] index.
+        class: u8,
+        /// Home node of the line.
+        home: u32,
+        /// Resulting latency in cycles.
+        latency: u64,
+        /// Served by the L1.
+        l1_hit: bool,
+        /// Involved a remote home directory.
+        remote: bool,
+        /// CPUs whose mirror epoch the access bumped (invalidation,
+        /// intervention, inclusion eviction victims).
+        victims: Vec<u32>,
+    },
+    /// A software-DSM page transfer and its charged latency.
+    Dsm {
+        /// Losing node.
+        from: u32,
+        /// Gaining node.
+        to: u32,
+        /// Bytes moved.
+        bytes: u32,
+        /// Resulting latency in cycles.
+        latency: u64,
+    },
+}
+
+/// A fully decoded checkpoint file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointData {
+    /// FNV-1a hash of the architecture configuration that produced the
+    /// file. Resume under a different *architecture* is meaningless
+    /// (transport knobs — workers, batch depth, filters — are free).
+    pub config_hash: u64,
+    /// Events the recording run fast-forwarded before the models went
+    /// live; the resumed run re-executes the same warmup.
+    pub ff_events: u64,
+    /// `events_processed` ordinal of the quiesced cut.
+    pub cut_events: u64,
+    /// Architecture outcomes between warmup and cut, in service order.
+    pub records: Vec<ArchRecord>,
+    /// Raw [`compass_arch::Hierarchy`] snapshot taken at the cut.
+    pub snapshot: Vec<u8>,
+}
+
+impl CheckpointData {
+    /// Serializes into a sealed, checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.config_hash);
+        w.u64(self.ff_events);
+        w.u64(self.cut_events);
+        w.u64(self.records.len() as u64);
+        for rec in &self.records {
+            match rec {
+                ArchRecord::Access {
+                    cpu,
+                    paddr,
+                    write,
+                    class,
+                    home,
+                    latency,
+                    l1_hit,
+                    remote,
+                    victims,
+                } => {
+                    w.u8(0);
+                    w.u32(*cpu);
+                    w.u64(*paddr);
+                    w.bool(*write);
+                    w.u8(*class);
+                    w.u32(*home);
+                    w.u64(*latency);
+                    w.bool(*l1_hit);
+                    w.bool(*remote);
+                    w.u32(victims.len() as u32);
+                    for v in victims {
+                        w.u32(*v);
+                    }
+                }
+                ArchRecord::Dsm {
+                    from,
+                    to,
+                    bytes,
+                    latency,
+                } => {
+                    w.u8(1);
+                    w.u32(*from);
+                    w.u32(*to);
+                    w.u32(*bytes);
+                    w.u64(*latency);
+                }
+            }
+        }
+        w.bytes(&self.snapshot);
+        seal(CKPT_VERSION, &w.into_bytes())
+    }
+
+    /// Decodes a sealed frame; every malformation is an `Err`.
+    pub fn decode(frame: &[u8]) -> compass_snap::Result<Self> {
+        let (version, payload) = unseal(frame)?;
+        if version != CKPT_VERSION {
+            return Err(SnapError::BadFrame("unsupported checkpoint version"));
+        }
+        let mut r = Reader::new(payload);
+        let config_hash = r.u64()?;
+        let ff_events = r.u64()?;
+        let cut_events = r.u64()?;
+        let nrecords = r.seq_len(6)?;
+        let mut records = Vec::with_capacity(nrecords);
+        for _ in 0..nrecords {
+            records.push(match r.u8()? {
+                0 => {
+                    let cpu = r.u32()?;
+                    let paddr = r.u64()?;
+                    let write = r.bool()?;
+                    let class = r.u8()?;
+                    let home = r.u32()?;
+                    let latency = r.u64()?;
+                    let l1_hit = r.bool()?;
+                    let remote = r.bool()?;
+                    let nvict = r.u32()? as usize;
+                    let mut victims = Vec::with_capacity(nvict.min(1024));
+                    for _ in 0..nvict {
+                        victims.push(r.u32()?);
+                    }
+                    ArchRecord::Access {
+                        cpu,
+                        paddr,
+                        write,
+                        class,
+                        home,
+                        latency,
+                        l1_hit,
+                        remote,
+                        victims,
+                    }
+                }
+                1 => ArchRecord::Dsm {
+                    from: r.u32()?,
+                    to: r.u32()?,
+                    bytes: r.u32()?,
+                    latency: r.u64()?,
+                },
+                _ => return Err(SnapError::Corrupt("unknown record tag")),
+            });
+        }
+        let snapshot = r.bytes()?.to_vec();
+        if !r.is_exhausted() {
+            return Err(SnapError::Corrupt("trailing payload bytes"));
+        }
+        Ok(CheckpointData {
+            config_hash,
+            ff_events,
+            cut_events,
+            records,
+            snapshot,
+        })
+    }
+
+    /// Loads and decodes a checkpoint file.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| format!("reading checkpoint {}: {e}", path.display()))?;
+        Self::decode(&bytes).map_err(|e| format!("decoding checkpoint {}: {e}", path.display()))
+    }
+}
+
+/// Engine-side recording state (`Backend::set_checkpoint`).
+pub struct Recording {
+    /// Cut interval in serviced events.
+    pub every: u64,
+    /// Destination file, overwritten at each cut (latest cut wins).
+    pub path: PathBuf,
+    /// Outcomes recorded since the models went live.
+    pub records: Vec<ArchRecord>,
+    /// Next `events_processed` ordinal at which to cut.
+    pub next_cut: u64,
+}
+
+/// Engine-side replay state (`Backend::set_resume`).
+pub struct Replay {
+    /// The recorded stream.
+    pub records: Vec<ArchRecord>,
+    /// Next record to consume.
+    pub idx: usize,
+    /// Ordinal at which the stream must be exhausted and the hierarchy
+    /// snapshot swapped in.
+    pub cut_events: u64,
+    /// Raw hierarchy snapshot bytes.
+    pub snapshot: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointData {
+        CheckpointData {
+            config_hash: 0xDEAD_BEEF_CAFE,
+            ff_events: 1_000,
+            cut_events: 5_000,
+            records: vec![
+                ArchRecord::Access {
+                    cpu: 3,
+                    paddr: 0x1_2340,
+                    write: true,
+                    class: 1,
+                    home: 0,
+                    latency: 142,
+                    l1_hit: false,
+                    remote: true,
+                    victims: vec![0, 2],
+                },
+                ArchRecord::Dsm {
+                    from: 1,
+                    to: 0,
+                    bytes: 4096,
+                    latency: 900,
+                },
+                ArchRecord::Access {
+                    cpu: 0,
+                    paddr: 0x40,
+                    write: false,
+                    class: 0,
+                    home: 1,
+                    latency: 1,
+                    l1_hit: true,
+                    remote: false,
+                    victims: vec![],
+                },
+            ],
+            snapshot: vec![7u8; 333],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = sample();
+        let frame = d.encode();
+        assert_eq!(CheckpointData::decode(&frame).unwrap(), d);
+    }
+
+    #[test]
+    fn every_truncation_is_an_error_not_a_panic() {
+        let frame = sample().encode();
+        for len in 0..frame.len() {
+            assert!(
+                CheckpointData::decode(&frame[..len]).is_err(),
+                "truncation to {len} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn every_byte_flip_is_an_error_not_a_panic() {
+        let frame = sample().encode();
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                CheckpointData::decode(&bad).is_err(),
+                "flip at byte {i} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let payload = {
+            let mut w = Writer::new();
+            w.u64(0);
+            w.u64(0);
+            w.u64(0);
+            w.u64(0);
+            w.bytes(&[]);
+            w.into_bytes()
+        };
+        let frame = seal(CKPT_VERSION + 1, &payload);
+        assert!(matches!(
+            CheckpointData::decode(&frame),
+            Err(SnapError::BadFrame(_))
+        ));
+    }
+
+    #[test]
+    fn load_of_missing_file_is_an_error() {
+        let err = CheckpointData::load(std::path::Path::new("/nonexistent/ckpt.bin"));
+        assert!(err.is_err());
+        assert!(err.unwrap_err().contains("/nonexistent/ckpt.bin"));
+    }
+}

@@ -9,6 +9,7 @@
 //! unwound in an orderly way through port poisoning instead of being left
 //! parked forever.
 
+use crate::vm::VmFault;
 use compass_isa::Cycles;
 use std::fmt;
 
@@ -20,17 +21,76 @@ pub enum RunError {
         /// The full diagnostic snapshot taken at detection time.
         report: Box<DeadlockReport>,
     },
+    /// A frontend touched memory the VM cannot map (wild pointer,
+    /// detached segment, simulated-frame exhaustion). These used to be
+    /// `panic!`s inside translation; they now unwind the run in an
+    /// orderly way with the same per-process dump a deadlock gets.
+    WildAccess {
+        /// The faulting reference plus the state of every process.
+        report: Box<WildAccessReport>,
+    },
+    /// A checkpoint file could not be written, read, or decoded.
+    Checkpoint {
+        /// What failed, including the path.
+        msg: String,
+    },
+    /// A resumed run's re-executed reference stream did not match the
+    /// outcomes recorded at checkpoint time — the resume-identity oracle
+    /// caught a nondeterminism bug.
+    ResumeDiverged {
+        /// Ordinal of the serviced event at which the mismatch appeared.
+        at_event: u64,
+        /// Human-readable expected-vs-got description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::Deadlock { report } => write!(f, "{report}"),
+            RunError::WildAccess { report } => write!(f, "{report}"),
+            RunError::Checkpoint { msg } => write!(f, "checkpoint error: {msg}"),
+            RunError::ResumeDiverged { at_event, detail } => {
+                write!(f, "resume diverged at event {at_event}: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for RunError {}
+
+/// Everything the engine knew when a reference faulted unrecoverably.
+#[derive(Debug, Clone)]
+pub struct WildAccessReport {
+    /// The faulting reference.
+    pub fault: VmFault,
+    /// Per-process dumps, in pid order.
+    pub procs: Vec<ProcDump>,
+    /// Events processed before the fault.
+    pub events_processed: u64,
+    /// Global simulated time at the fault.
+    pub global_time: Cycles,
+}
+
+impl fmt::Display for WildAccessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "COMPASS wild access: {} (events={}, t={})",
+            self.fault, self.events_processed, self.global_time
+        )?;
+        for p in &self.procs {
+            writeln!(
+                f,
+                "  pid {}: state={} bound={} credit={} held={} ring={} log={} head={:?} \
+                 indexed={} cpu={:?}",
+                p.pid, p.state, p.bound, p.credit, p.held, p.ring, p.log, p.head, p.indexed, p.cpu
+            )?;
+        }
+        Ok(())
+    }
+}
 
 /// How the deadlock was detected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

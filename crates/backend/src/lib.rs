@@ -32,6 +32,7 @@
 //!   `BackendConfig::workers > 1`, bit-identical to the single-threaded
 //!   engine by construction.
 
+pub mod ckpt;
 pub mod config;
 pub mod devices;
 pub mod engine;
@@ -44,9 +45,11 @@ pub mod tasks;
 pub mod trace;
 pub mod vm;
 
+pub use ckpt::{ArchRecord, CheckpointData, CKPT_VERSION};
 pub use config::{BackendConfig, EngineMode, SchedPolicy};
 pub use devices::{DiskParams, NetParams, TrafficSource};
 pub use engine::{Backend, SimOutcome};
-pub use error::{DeadlockKind, DeadlockReport, ProcDump, RunError};
+pub use error::{DeadlockKind, DeadlockReport, ProcDump, RunError, WildAccessReport};
 pub use stats::{BackendStats, ProcTimes};
 pub use trace::{TraceRecord, TraceSink};
+pub use vm::{VmFault, VmFaultKind};

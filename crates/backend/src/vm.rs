@@ -34,6 +34,58 @@ pub struct DsmTransfer {
     pub invalidations: u32,
 }
 
+/// A reference the VM cannot satisfy. These used to be `panic!`s that
+/// tore the whole process down; they are now data so the engine can
+/// return a structured [`crate::RunError::WildAccess`] with a per-process
+/// dump and unwind every frontend through port poisoning (ISSUE 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmFault {
+    /// The faulting process.
+    pub pid: ProcessId,
+    /// The faulting virtual address.
+    pub va: VAddr,
+    /// What went wrong.
+    pub kind: VmFaultKind,
+}
+
+/// Why a reference could not be satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmFaultKind {
+    /// A shared-memory address with no segment mapped over it (touch
+    /// after detach, or a stray pointer into the attach window).
+    UnattachedShm,
+    /// The address falls inside a segment the process never attached.
+    NotAttached(SegId),
+    /// The address lies in no mappable region at all.
+    Wild(Region),
+    /// The simulated machine ran out of physical frames while handling a
+    /// demand fault.
+    OutOfMemory,
+}
+
+impl std::fmt::Display for VmFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            VmFaultKind::UnattachedShm => {
+                write!(f, "{} touched unattached shm address {}", self.pid, self.va)
+            }
+            VmFaultKind::NotAttached(seg) => write!(
+                f,
+                "{} touched segment {seg} at {} without attaching",
+                self.pid, self.va
+            ),
+            VmFaultKind::Wild(region) => {
+                write!(f, "{} wild access to {} ({region:?})", self.pid, self.va)
+            }
+            VmFaultKind::OutOfMemory => write!(
+                f,
+                "simulated memory exhausted demand-faulting {} for {}",
+                self.va, self.pid
+            ),
+        }
+    }
+}
+
 /// Outcome of translating one reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Translation {
@@ -227,7 +279,7 @@ impl Vm {
         node: usize,
         va: VAddr,
         write: bool,
-    ) -> Translation {
+    ) -> Result<Translation, VmFault> {
         let mut soft_fault = false;
         // Kernel space bypasses the page table (V=R).
         let paddr = if va.is_kernel() {
@@ -236,7 +288,7 @@ impl Vm {
             match self.tables[pid.index()].translate(va, write) {
                 Ok(p) => p,
                 Err(_) => {
-                    self.demand_fault(pid, node, va);
+                    self.demand_fault(pid, node, va)?;
                     soft_fault = true;
                     self.tables[pid.index()]
                         .translate(va, write)
@@ -261,19 +313,21 @@ impl Vm {
         } else {
             None
         };
-        Translation {
+        Ok(Translation {
             paddr,
             home,
             tlb_miss,
             soft_fault,
             dsm,
-        }
+        })
     }
 
     /// Handles a not-mapped fault: demand-zero for private regions,
     /// lazy frame materialisation for first-touch shared segments.
-    fn demand_fault(&mut self, pid: ProcessId, node: usize, va: VAddr) {
-        self.stats.soft_faults += 1;
+    /// Unsatisfiable references (wild addresses, unattached segments,
+    /// frame exhaustion) come back as a [`VmFault`], not a panic.
+    fn demand_fault(&mut self, pid: ProcessId, node: usize, va: VAddr) -> Result<(), VmFault> {
+        let fault = |kind| VmFault { pid, va, kind };
         match va.region() {
             Region::Heap | Region::Stack | Region::Text => {
                 // Private page: always placed at the toucher's node (the
@@ -282,7 +336,8 @@ impl Vm {
                 let ppn = self
                     .frames
                     .alloc_on(home)
-                    .expect("simulated memory exhausted (private page)");
+                    .map_err(|_| fault(VmFaultKind::OutOfMemory))?;
+                self.stats.soft_faults += 1;
                 self.homes.place_eager(ppn, home);
                 self.tables[pid.index()].map(va, ppn, PageFlags::RW);
                 self.stats.pages_mapped += 1;
@@ -291,13 +346,12 @@ impl Vm {
                 let seg = self
                     .shm
                     .segment_containing(va)
-                    .unwrap_or_else(|| panic!("{pid} touched unattached shm address {va}"))
+                    .ok_or(fault(VmFaultKind::UnattachedShm))?
                     .id;
                 let segment = self.shm.segment(seg).expect("segment exists");
-                assert!(
-                    segment.attached.contains(&pid),
-                    "{pid} touched segment {seg} without attaching"
-                );
+                if !segment.attached.contains(&pid) {
+                    return Err(fault(VmFaultKind::NotAttached(seg)));
+                }
                 let idx = ((va.0 - segment.base.0) / PAGE_SIZE) as usize;
                 let base = segment.base;
                 let existing = segment.frames[idx];
@@ -309,20 +363,22 @@ impl Vm {
                         let ppn = self
                             .frames
                             .alloc_on(home)
-                            .expect("simulated memory exhausted (shm page)");
+                            .map_err(|_| fault(VmFaultKind::OutOfMemory))?;
                         self.homes.place_eager(ppn, home);
                         self.shm.segment_mut(seg).expect("segment exists").frames[idx] = Some(ppn);
                         self.stats.pages_mapped += 1;
                         ppn
                     }
                 };
+                self.stats.soft_faults += 1;
                 let page_va = base
                     .checked_page(idx as u32)
                     .expect("shm window bounds the segment below the address-space top");
                 self.tables[pid.index()].map(page_va, ppn, PageFlags::SHARED_RW);
             }
-            r => panic!("{pid} wild access to {va} ({r:?})"),
+            r => return Err(fault(VmFaultKind::Wild(r))),
         }
+        Ok(())
     }
 
     /// Software-DSM page protocol: single writer, multiple readers.
@@ -508,10 +564,10 @@ mod tests {
     fn demand_zero_heap_fault_then_hit() {
         let mut v = vm(2, PlacementPolicy::FirstTouch);
         let va = VAddr(0x1000_0000);
-        let t1 = v.translate(P0, C0, 1, va, true);
+        let t1 = v.translate(P0, C0, 1, va, true).unwrap();
         assert!(t1.soft_fault);
         assert_eq!(t1.home, 1, "first-touch home is the toucher's node");
-        let t2 = v.translate(P0, C0, 0, va + 4, false);
+        let t2 = v.translate(P0, C0, 0, va + 4, false).unwrap();
         assert!(!t2.soft_fault);
         assert_eq!(t2.paddr.ppn(), t1.paddr.ppn());
         assert_eq!(t2.home, 1, "home sticks after first touch");
@@ -521,8 +577,8 @@ mod tests {
     fn private_pages_of_processes_are_distinct() {
         let mut v = vm(1, PlacementPolicy::FirstTouch);
         let va = VAddr(0x1000_0000);
-        let a = v.translate(P0, C0, 0, va, true);
-        let b = v.translate(P1, C0, 0, va, true);
+        let a = v.translate(P0, C0, 0, va, true).unwrap();
+        let b = v.translate(P1, C0, 0, va, true).unwrap();
         assert_ne!(a.paddr.ppn(), b.paddr.ppn());
     }
 
@@ -533,7 +589,11 @@ mod tests {
         let (base, installed) = v.shmat(seg, P0).unwrap();
         assert_eq!(installed, 8);
         let homes: Vec<usize> = (0..8)
-            .map(|i| v.translate(P0, C0, 0, base + i * PAGE_SIZE, false).home)
+            .map(|i| {
+                v.translate(P0, C0, 0, base + i * PAGE_SIZE, false)
+                    .unwrap()
+                    .home
+            })
             .collect();
         assert_eq!(homes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
     }
@@ -545,8 +605,8 @@ mod tests {
         let (base, _) = v.shmat(seg, P0).unwrap();
         let (base1, _) = v.shmat(seg, P1).unwrap();
         assert_eq!(base, base1);
-        let a = v.translate(P0, C0, 0, base, true);
-        let b = v.translate(P1, C0, 1, base, false);
+        let a = v.translate(P0, C0, 0, base, true).unwrap();
+        let b = v.translate(P1, C0, 1, base, false).unwrap();
         assert_eq!(a.paddr, b.paddr, "same frame through both page tables");
     }
 
@@ -556,7 +616,7 @@ mod tests {
         let seg = v.shmget(7, 2 * PAGE_SIZE).unwrap();
         let (base, installed) = v.shmat(seg, P0).unwrap();
         assert_eq!(installed, 0, "no frames yet under first-touch");
-        let t = v.translate(P0, C0, 1, base + PAGE_SIZE, true);
+        let t = v.translate(P0, C0, 1, base + PAGE_SIZE, true).unwrap();
         assert!(t.soft_fault);
         assert_eq!(t.home, 1);
     }
@@ -566,19 +626,20 @@ mod tests {
         let mut v = vm(1, PlacementPolicy::RoundRobin);
         let seg = v.shmget(7, PAGE_SIZE).unwrap();
         let (base, _) = v.shmat(seg, P0).unwrap();
-        v.translate(P0, C0, 0, base, false);
+        v.translate(P0, C0, 0, base, false).unwrap();
         assert_eq!(v.shmdt(seg, P0).unwrap(), 1);
-        // Touching after detach is a wild access.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            v.translate(P0, C0, 0, base, false)
-        }));
-        assert!(result.is_err());
+        // Touching after detach is a structured fault, not a panic.
+        let fault = v.translate(P0, C0, 0, base, false).unwrap_err();
+        assert_eq!(fault.kind, VmFaultKind::NotAttached(seg));
+        assert_eq!(fault.pid, P0);
+        assert_eq!(fault.va, base);
+        assert!(fault.to_string().contains("without attaching"));
     }
 
     #[test]
     fn kernel_addresses_translate_without_mappings() {
         let mut v = vm(2, PlacementPolicy::FirstTouch);
-        let t = v.translate(P0, C0, 1, VAddr(0xC000_1000), true);
+        let t = v.translate(P0, C0, 1, VAddr(0xC000_1000), true).unwrap();
         assert!(!t.soft_fault);
         assert_eq!(t.home, 1, "kernel page homed by first toucher");
     }
@@ -587,10 +648,10 @@ mod tests {
     fn tlb_miss_reported_once_then_hits() {
         let mut v = vm(1, PlacementPolicy::FirstTouch);
         let va = VAddr(0x1000_0000);
-        assert!(v.translate(P0, C0, 0, va, false).tlb_miss);
-        assert!(!v.translate(P0, C0, 0, va + 8, false).tlb_miss);
+        assert!(v.translate(P0, C0, 0, va, false).unwrap().tlb_miss);
+        assert!(!v.translate(P0, C0, 0, va + 8, false).unwrap().tlb_miss);
         v.on_context_switch(C0);
-        assert!(v.translate(P0, C0, 0, va, false).tlb_miss);
+        assert!(v.translate(P0, C0, 0, va, false).unwrap().tlb_miss);
         assert_eq!(v.tlb_stats().flushes, 1);
     }
 
@@ -645,11 +706,11 @@ mod tests {
         let mut v = vm(1, PlacementPolicy::FirstTouch);
         // Map a page near zero; a wrapping walk from the top would hit it.
         let low = VAddr(0x1000_0000);
-        v.translate(P0, C0, 0, low, true);
+        v.translate(P0, C0, 0, low, true).unwrap();
         let removed = v.unmap_region(P0, VAddr(u32::MAX - PAGE_SIZE + 1), 4 * PAGE_SIZE);
         assert_eq!(removed, 0, "clipped walk must not touch wrapped pages");
         assert!(
-            !v.translate(P0, C0, 0, low, false).soft_fault,
+            !v.translate(P0, C0, 0, low, false).unwrap().soft_fault,
             "the low page must still be mapped"
         );
     }
@@ -661,19 +722,19 @@ mod tests {
         let (base, _) = v.shmat(seg, P0).unwrap();
         v.shmat(seg, P1).unwrap();
         // P0@node0 writes (first touch: owner node0, no transfer).
-        let t0 = v.translate(P0, C0, 0, base, true);
+        let t0 = v.translate(P0, C0, 0, base, true).unwrap();
         assert_eq!(t0.dsm, None);
         // P1@node1 reads: page copy moves 0 -> 1.
-        let t1 = v.translate(P1, CpuId(1), 1, base, false);
+        let t1 = v.translate(P1, CpuId(1), 1, base, false).unwrap();
         let d1 = t1.dsm.unwrap();
         assert_eq!((d1.from, d1.to, d1.bytes), (0, 1, PAGE_SIZE));
         // P1@node1 writes: invalidate node0's copy; already has data.
-        let t2 = v.translate(P1, CpuId(1), 1, base, true);
+        let t2 = v.translate(P1, CpuId(1), 1, base, true).unwrap();
         let d2 = t2.dsm.unwrap();
         assert_eq!(d2.invalidations, 1);
         assert_eq!(d2.bytes, 0, "writer already held a copy");
         // Node-1 reads now local.
-        assert_eq!(v.translate(P1, CpuId(1), 1, base, false).dsm, None);
+        assert_eq!(v.translate(P1, CpuId(1), 1, base, false).unwrap().dsm, None);
         assert_eq!(v.stats().dsm_read_faults, 1);
         assert_eq!(v.stats().dsm_write_faults, 1);
     }

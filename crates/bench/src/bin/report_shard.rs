@@ -101,11 +101,20 @@ fn run_tpcc(workers: usize) -> Row {
 }
 
 fn main() {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut rows: Vec<Row> = Vec::new();
     for workers in [1usize, 2, 4] {
         for row in [run_sci(workers), run_tpcc(workers)] {
+            // A row asking for more workers than the host has hardware
+            // threads cannot show parallel speedup — label it so nobody
+            // reads timeslicing overhead as a sharding result.
+            let marker = if host_cpus < row.workers {
+                "  [oversubscribed: host has fewer CPUs than workers]"
+            } else {
+                ""
+            };
             eprintln!(
-                "{:<6} workers {:>2}  {:>12.0} events/s",
+                "{:<6} workers {:>2}  {:>12.0} events/s{marker}",
                 row.profile, row.workers, row.events_per_sec
             );
             rows.push(row);
@@ -123,16 +132,16 @@ fn main() {
             format!(
                 "    {{\"profile\": \"{}\", \"workers\": {}, \"depth\": {}, \
                  \"filter\": true, \"events_per_sec\": {:.0}, \
-                 \"speedup_vs_1\": {:.2}}}",
+                 \"speedup_vs_1\": {:.2}, \"oversubscribed\": {}}}",
                 r.profile,
                 r.workers,
                 DEPTH,
                 r.events_per_sec,
-                r.events_per_sec / at(r.profile, 1)
+                r.events_per_sec / at(r.profile, 1),
+                host_cpus < r.workers
             )
         })
         .collect();
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("{{");
     println!("  \"bench\": \"shard_workers\",");
     println!("  \"host_cpus\": {host_cpus},");

@@ -14,6 +14,7 @@ use compass_os::bufcache::BufStats;
 use compass_os::net::NetStats;
 use compass_os::{KernelShared, OsObs, OsServer};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -74,6 +75,9 @@ pub struct SimBuilder {
     prepare: Option<PrepareFn>,
     recorder: Option<compass_backend::TraceSink>,
     progress: Option<ProgressFn>,
+    ckpt_every: Option<(u64, PathBuf)>,
+    resume_from: Option<PathBuf>,
+    ff_events: u64,
 }
 
 impl SimBuilder {
@@ -91,6 +95,9 @@ impl SimBuilder {
             prepare: None,
             recorder: None,
             progress: None,
+            ckpt_every: None,
+            resume_from: None,
+            ff_events: 0,
         }
     }
 
@@ -129,6 +136,40 @@ impl SimBuilder {
         self
     }
 
+    /// Checkpoints the deterministic simulation state to `path` every
+    /// `every` serviced events, at quiesced window boundaries (shard
+    /// workers drained, rings empty, filter logs flushed). The file is
+    /// atomically overwritten at each cut — the latest cut wins. Resume
+    /// it with [`SimBuilder::resume`].
+    pub fn checkpoint_every(mut self, every: u64, path: impl Into<PathBuf>) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.ckpt_every = Some((every, path.into()));
+        self
+    }
+
+    /// Resumes from a checkpoint written by [`SimBuilder::checkpoint_every`].
+    /// The run re-executes the workload live but feeds the architecture
+    /// models from the recorded outcome stream, validating every request
+    /// (the resume-identity oracle); at the recorded cut the hierarchy
+    /// snapshot is swapped in and the run continues fully live —
+    /// bit-identical `BackendStats` to the recording run. Transport knobs
+    /// (`backend_workers`, batch depths, reference filters) may differ
+    /// between the two runs; the architecture configuration must match.
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
+    /// Fast-forwards the first `events` serviced events: the architecture
+    /// models are skipped entirely (fixed L1-hit latencies) while the
+    /// functional state — page tables, locks, buffer cache, scheduler —
+    /// warms up. Combine with [`SimBuilder::checkpoint_every`] to turn a
+    /// long run into checkpoint-warm-then-measure.
+    pub fn fast_forward(mut self, events: u64) -> Self {
+        self.ff_events = events;
+        self
+    }
+
     /// Installs the progress-snapshot callback. Snapshots fire every
     /// `SimConfig::obs.progress_every` serviced events; setting a
     /// callback without a period implies the default period.
@@ -162,7 +203,14 @@ impl SimBuilder {
             prepare,
             recorder,
             progress,
+            ckpt_every,
+            resume_from,
+            ff_events,
         } = self;
+        assert!(
+            ckpt_every.is_none() || resume_from.is_none(),
+            "checkpoint recording and resume are mutually exclusive in one run"
+        );
         // More engine threads than host cores only adds scheduling churn
         // (results are bit-identical at any worker count, so clamping is
         // safe). `workers` counts the coordinator: N > 1 means N - 1
@@ -266,6 +314,27 @@ impl SimBuilder {
         );
         if let Some(sink) = recorder {
             backend.set_access_recorder(sink);
+        }
+        if ff_events > 0 {
+            backend.set_fast_forward(ff_events);
+        }
+        if let Some((every, path)) = ckpt_every {
+            backend.set_checkpoint(every, path);
+        }
+        if let Some(path) = resume_from {
+            let data = compass_backend::CheckpointData::load(&path)
+                .map_err(|msg| RunError::Checkpoint { msg })?;
+            let want = compass_arch::Hierarchy::config_hash(&config.backend.arch);
+            if data.config_hash != want {
+                return Err(RunError::Checkpoint {
+                    msg: format!(
+                        "checkpoint {} was recorded under a different architecture                          configuration (hash {:#x}, this run {want:#x})",
+                        path.display(),
+                        data.config_hash
+                    ),
+                });
+            }
+            backend.set_resume(data);
         }
         let backend_block = counters.map(|hub| hub.register("backend"));
         if let Some(block) = &backend_block {

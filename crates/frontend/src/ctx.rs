@@ -638,7 +638,10 @@ impl CpuCtx {
             ReplyData::ShmFail { err } => Err(err),
             // Raw mode: segments degenerate to private allocations.
             ReplyData::None => Ok(SegId(key)),
-            other => panic!("shmget reply {other:?}"),
+            // A malformed reply can only happen while the run is being
+            // torn down; report it instead of panicking so simcheck
+            // shrinking survives (ISSUE 8).
+            _ => Err(ShmError::Protocol),
         }
     }
 
@@ -656,7 +659,7 @@ impl CpuCtx {
             ReplyData::ShmBase { base } => Ok(base),
             ReplyData::ShmFail { err } => Err(err),
             ReplyData::None => Ok(VAddr(compass_mem::addr::SHM_BASE + seg.0 * 0x10_0000)),
-            other => panic!("shmat reply {other:?}"),
+            _ => Err(ShmError::Protocol),
         }
     }
 
@@ -666,11 +669,18 @@ impl CpuCtx {
             .unwrap_or_else(|e| panic!("shmat({seg}) failed: {e}"))
     }
 
-    /// `shmdt(seg)`.
-    pub fn shmdt(&mut self, seg: SegId) {
-        if let ReplyData::ShmFail { err } = self.post(EventBody::Ctl(CtlOp::ShmDt { seg })).data {
-            panic!("shmdt({seg}) failed: {err}");
+    /// `shmdt(seg)`, returning simulated failures.
+    pub fn try_shmdt(&mut self, seg: SegId) -> Result<(), ShmError> {
+        match self.post(EventBody::Ctl(CtlOp::ShmDt { seg })).data {
+            ReplyData::ShmFail { err } => Err(err),
+            _ => Ok(()),
         }
+    }
+
+    /// `shmdt(seg)`; panics on simulated failure.
+    pub fn shmdt(&mut self, seg: SegId) {
+        self.try_shmdt(seg)
+            .unwrap_or_else(|e| panic!("shmdt({seg}) failed: {e}"))
     }
 
     // ------------------------------------------------------------------
@@ -765,7 +775,9 @@ impl CpuCtx {
             region,
         })? {
             compass_os::SysVal::Int(_) => {}
-            other => panic!("mmap reply {other:?}"),
+            // A malformed reply shape is a teardown-time protocol
+            // violation; surface it as EINVAL instead of panicking.
+            _ => return Err(compass_os::Errno::Inval),
         }
         self.post(EventBody::Ctl(CtlOp::MapRegion {
             base: region,

@@ -60,6 +60,11 @@ pub enum ShmError {
     BadLength,
     /// No physical frames left to back the segment (ENOMEM).
     OutOfMemory,
+    /// The backend's reply had an unexpected shape — a stub/engine
+    /// protocol violation (only possible when the run is already being
+    /// torn down), surfaced as an error so the workload can unwind
+    /// instead of panicking the frontend thread.
+    Protocol,
 }
 
 impl std::fmt::Display for ShmError {
@@ -71,6 +76,7 @@ impl std::fmt::Display for ShmError {
             ShmError::NotAttached => "segment not attached",
             ShmError::BadLength => "bad segment length",
             ShmError::OutOfMemory => "simulated memory exhausted",
+            ShmError::Protocol => "unexpected backend reply shape",
         };
         f.write_str(msg)
     }

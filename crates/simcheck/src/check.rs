@@ -5,6 +5,7 @@ use crate::{diff, oracle};
 use compass::runner::RunReport;
 use compass::{ObsConfig, PlacementPolicy, RunError, SchedPolicy, TraceLevel};
 use compass_backend::{trace, TraceRecord};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Batch depths every scenario is replayed at; depth 1 (classic
@@ -41,10 +42,61 @@ pub fn run_scenario(
     os_batch: usize,
     kernel_filter: bool,
 ) -> Result<RunOutput, RunError> {
+    run_scenario_ckpt(
+        sc,
+        depth,
+        record,
+        observe,
+        filter,
+        workers,
+        os_batch,
+        kernel_filter,
+        CkptMode::Off,
+    )
+}
+
+/// Checkpoint participation of one run (ISSUE 8).
+#[derive(Clone, Copy)]
+pub enum CkptMode<'a> {
+    /// Plain run.
+    Off,
+    /// Record: cut to `path` every `every` serviced events.
+    Record {
+        /// Cut interval.
+        every: u64,
+        /// Checkpoint file.
+        path: &'a Path,
+    },
+    /// Resume from the latest cut in `path` under the resume-identity
+    /// oracle.
+    Resume {
+        /// Checkpoint file.
+        path: &'a Path,
+    },
+}
+
+/// [`run_scenario`] with a checkpoint mode.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario_ckpt(
+    sc: &Scenario,
+    depth: usize,
+    record: bool,
+    observe: bool,
+    filter: bool,
+    workers: usize,
+    os_batch: usize,
+    kernel_filter: bool,
+    ckpt: CkptMode<'_>,
+) -> Result<RunOutput, RunError> {
     let mut b = sc.builder();
     let sink = if record { Some(trace::sink()) } else { None };
     if let Some(s) = &sink {
         b = b.record_accesses(Arc::clone(s));
+    }
+    match ckpt {
+        CkptMode::Off => {}
+        CkptMode::Record { every, path } => b = b.checkpoint_every(every, path),
+        CkptMode::Resume { path } => b = b.resume(path),
     }
     let cfg = b.config_mut();
     cfg.backend.sched = sc.sched;
@@ -287,6 +339,91 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
             }
         }
         Err(e) => failures.push(format!("kernel-filter-twin run deadlocked: {e}")),
+    }
+    // Checkpoint/resume differential (ISSUE 8): record the scenario with
+    // `checkpoint_every`, then resume from the latest cut — once under
+    // the scenario's own knobs and once under flipped transport knobs
+    // (filter, workers, OS batch, kernel filter, batch depth). All of
+    // them run under the resume-identity oracle and must reproduce the
+    // baseline `BackendStats` bit for bit.
+    if sc.ckpt {
+        let path = std::env::temp_dir().join(format!(
+            "compass-simcheck-{}-{:x}.ckpt",
+            std::process::id(),
+            sc.seed
+        ));
+        let _ = std::fs::remove_file(&path);
+        match run_scenario_ckpt(
+            sc,
+            1,
+            false,
+            false,
+            sc.filter,
+            sc.workers,
+            sc.os_batch,
+            sc.kernel_filter,
+            CkptMode::Record {
+                every: 500,
+                path: &path,
+            },
+        ) {
+            Ok(run) => {
+                for d in diff::diff_backend_stats(&base.report.backend, &run.report.backend) {
+                    failures.push(format!("checkpoint-record vs base: {d}"));
+                }
+                // A run shorter than one cut interval writes no file;
+                // there is then nothing to resume.
+                if path.exists() {
+                    match run_scenario_ckpt(
+                        sc,
+                        1,
+                        false,
+                        false,
+                        sc.filter,
+                        sc.workers,
+                        sc.os_batch,
+                        sc.kernel_filter,
+                        CkptMode::Resume { path: &path },
+                    ) {
+                        Ok(run) => {
+                            for d in
+                                diff::diff_backend_stats(&base.report.backend, &run.report.backend)
+                            {
+                                failures.push(format!("checkpoint-resume vs base: {d}"));
+                            }
+                        }
+                        Err(e) => failures.push(format!("checkpoint-resume run failed: {e}")),
+                    }
+                    let twin_workers = if sc.workers == 1 { 4 } else { 1 };
+                    let twin_os_batch = if sc.os_batch == 1 { 64 } else { 1 };
+                    match run_scenario_ckpt(
+                        sc,
+                        16,
+                        false,
+                        false,
+                        !sc.filter,
+                        twin_workers,
+                        twin_os_batch,
+                        !sc.kernel_filter,
+                        CkptMode::Resume { path: &path },
+                    ) {
+                        Ok(run) => {
+                            for d in
+                                diff::diff_backend_stats(&base.report.backend, &run.report.backend)
+                            {
+                                failures
+                                    .push(format!("checkpoint-resume(flipped knobs) vs base: {d}"));
+                            }
+                        }
+                        Err(e) => {
+                            failures.push(format!("checkpoint-resume(flipped knobs) failed: {e}"))
+                        }
+                    }
+                }
+            }
+            Err(e) => failures.push(format!("checkpoint-record run failed: {e}")),
+        }
+        let _ = std::fs::remove_file(&path);
     }
     for depth in &DEPTHS[1..] {
         let run = match run_scenario(

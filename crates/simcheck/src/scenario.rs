@@ -129,6 +129,11 @@ pub struct Scenario {
     /// mirror with its precharge/credit replay protocol bit-exact
     /// across the whole scenario space.
     pub kernel_filter: bool,
+    /// Checkpoint/resume differential (ISSUE 8). When set, the check
+    /// stack records the scenario with `checkpoint_every`, resumes it
+    /// (and resumes under flipped transport knobs), and requires
+    /// bit-identical `BackendStats` — the resume-identity oracle.
+    pub ckpt: bool,
 }
 
 impl Scenario {
@@ -190,6 +195,8 @@ impl Scenario {
         // historical seed keeps its scenario shape.
         let os_batch = [1usize, 8, 64][rng.gen_range(0..3usize)];
         let kernel_filter = rng.gen_bool(0.5);
+        // Checkpoint axis (ISSUE 8), drawn last for the same reason.
+        let ckpt = rng.gen_bool(0.5);
         Scenario {
             seed,
             workload,
@@ -203,6 +210,7 @@ impl Scenario {
             workers,
             os_batch,
             kernel_filter,
+            ckpt,
         }
     }
 
@@ -374,6 +382,12 @@ impl Scenario {
             if self.kernel_filter {
                 push(Scenario {
                     kernel_filter: false,
+                    ..*self
+                });
+            }
+            if self.ckpt {
+                push(Scenario {
+                    ckpt: false,
                     ..*self
                 });
             }
@@ -598,6 +612,8 @@ mod tests {
         assert!(scenarios.iter().any(|s| s.os_batch > 1));
         assert!(scenarios.iter().any(|s| s.kernel_filter));
         assert!(scenarios.iter().any(|s| !s.kernel_filter));
+        assert!(scenarios.iter().any(|s| s.ckpt));
+        assert!(scenarios.iter().any(|s| !s.ckpt));
     }
 
     #[test]

@@ -51,6 +51,7 @@ fn deadlock_is_an_error_at_every_sweep_depth() {
                 );
             }
             Ok(()) => panic!("depth {depth}: AB/BA cycle did not deadlock"),
+            Err(other) => panic!("depth {depth}: expected a deadlock, got {other}"),
         }
     }
 }

@@ -34,7 +34,9 @@ fn lock_cycle_returns_a_structured_deadlock_report() {
     b.config_mut().backend.timer_interval = Some(10_000);
     b.config_mut().backend.deadlock_ms = 30_000;
     let err = b.try_run().expect_err("AB/BA cycle must deadlock");
-    let RunError::Deadlock { report } = err;
+    let RunError::Deadlock { report } = err else {
+        panic!("expected a deadlock, got {err}");
+    };
     assert_eq!(report.kind, DeadlockKind::SyncCycle);
     // Every application process appears in the dump.
     let pids: Vec<u32> = report.procs.iter().map(|p| p.pid).collect();
@@ -60,7 +62,9 @@ fn host_timeout_is_reported_as_deadlock_too() {
     b.config_mut().backend.timer_interval = None;
     b.config_mut().backend.deadlock_ms = 250;
     let err = b.try_run().expect_err("stuck barrier must time out");
-    let RunError::Deadlock { report } = err;
+    let RunError::Deadlock { report } = err else {
+        panic!("expected a deadlock, got {err}");
+    };
     assert_eq!(report.kind, DeadlockKind::HostTimeout);
     assert!(report.procs.iter().any(|p| p.pid == 0));
 }

@@ -228,7 +228,9 @@ fn deadlock_is_still_reported_at_every_worker_count() {
             Ok(_) => panic!("stuck barrier must time out (workers={workers})"),
             Err(e) => e,
         };
-        let RunError::Deadlock { report } = err;
+        let RunError::Deadlock { report } = err else {
+            panic!("expected a deadlock, got {err}");
+        };
         assert_eq!(report.kind, DeadlockKind::HostTimeout, "workers={workers}");
         assert!(report.procs.iter().any(|p| p.pid == 0));
     }
