@@ -23,8 +23,11 @@ diff -u target/quickstart-base.out target/quickstart-filter.out
 COMPASS_WORKERS=4 cargo run --release -q --example quickstart >target/quickstart-shard.out
 diff -u target/quickstart-base.out target/quickstart-shard.out
 # OS-server-wall smoke: httplite BackendStats must be bit-identical
-# across OS-port batching, kernel filtering and shard workers (exits
-# nonzero on any divergence), then a short measured sweep records the
+# across OS-port batching, kernel filtering, the disk-wake path and
+# shard workers (exits nonzero on any divergence), and the measured
+# short-scale batching speedup must stay within 20% of the committed
+# BENCH_http.json headline (override the baseline artifact with
+# BENCH_HTTP_BASELINE). Then a short measured sweep records the
 # kernel-path speedup artifact.
 cargo run --release -q -p compass-bench --bin report_http -- --smoke
 cargo run --release -q -p compass-bench --bin report_http -- --short >target/BENCH_http_short.json

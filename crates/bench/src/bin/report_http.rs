@@ -1,26 +1,36 @@
 //! **OS-server wall report** (`BENCH_http.json`) — httplite throughput
-//! with the OS-port batched, kernel references filtered, and the scaled
-//! keep-alive client model, against the classic per-event protocol.
+//! with the OS-port batched, kernel references filtered, the bottom-half
+//! daemon on the event-driven disk path, and the scaled keep-alive
+//! client model, against the classic per-event protocol.
 //!
 //! The OS-server wall: web serving is ~85% kernel time (§4.2), so after
 //! the frontend's own batching/filtering (PR 1, PR 5) every remaining
-//! rendezvous belongs to *kernel* memory references on the syscall path.
-//! This report measures what batching + filtering that path buys, as
-//! host events/second, and records the simulated service quality of the
+//! rendezvous belongs to *kernel* memory references — the syscall path
+//! and the interrupt handlers. This report measures what batching +
+//! filtering + the event-driven device path buy, as host
+//! events/second, and records the simulated service quality of the
 //! scaled client model (requests per simulated second, p99 simulated
 //! request latency on the paper's 133 MHz target).
 //!
 //! Modes:
 //! * (no args) — the full sweep, JSON on stdout (redirect to
-//!   `BENCH_http.json`);
+//!   `BENCH_http.json`); includes the db2lite disk-path row and the
+//!   10k-connection streaming-player row;
 //! * `--short` — a quick CI-sized sweep, same JSON shape;
-//! * `--smoke` — bit-identity gate: the batched + filtered run must
-//!   reproduce the baseline `BackendStats` exactly (and across shard
-//!   workers); exits nonzero on any divergence.
+//! * `--profile-mirrors` — kernel-mirror maintenance profile: events/s
+//!   with the kernel filter off vs on, plus the filtered-reference and
+//!   deferred-refresh counters that show what the mirrors cost and save;
+//! * `--smoke` — CI gate: (a) bit-identity — the batched + filtered +
+//!   disk-wake run must reproduce the baseline `BackendStats` exactly
+//!   (and across shard workers); (b) regression — the measured
+//!   events/s speedup must stay within 20% of the committed
+//!   `BENCH_http.json` baseline. Exits nonzero on either failure.
 
 use compass::runner::RunReport;
 use compass::{ArchConfig, SimBuilder};
 use compass_isa::TimingModel;
+use compass_workloads::db2lite::tpcc::{self, TerminalStats, TpccConfig};
+use compass_workloads::db2lite::{Db2Config, Db2Shared};
 use compass_workloads::httplite::{
     self, generate_fileset, generate_trace, FileSetConfig, PlayerConfig, PlayerObserved,
     ServerConfig, SharedTickets, TracePlayer,
@@ -35,17 +45,31 @@ struct Knobs {
     filter: bool,
     kernel_batch_depth: usize,
     kernel_filter: bool,
+    disk_wake: bool,
     workers: usize,
 }
 
 const BASELINE: Knobs = Knobs {
     // The pre-ISSUE-6 configuration: frontend batching at its default
-    // depth, kernel path on the classic one-rendezvous-per-event port.
+    // depth, kernel path on the classic one-rendezvous-per-event port,
+    // daemon handlers on the per-reference protocol.
     label: "baseline",
     batch_depth: 8,
     filter: false,
     kernel_batch_depth: 1,
     kernel_filter: false,
+    disk_wake: false,
+    workers: 1,
+};
+
+/// `SimConfig::new` as shipped: the row the casual `b.run()` user gets.
+const DEFAULTS: Knobs = Knobs {
+    label: "default-knobs",
+    batch_depth: 8,
+    filter: false,
+    kernel_batch_depth: 8,
+    kernel_filter: false,
+    disk_wake: true,
     workers: 1,
 };
 
@@ -55,6 +79,7 @@ const TUNED: Knobs = Knobs {
     filter: true,
     kernel_batch_depth: 64,
     kernel_filter: true,
+    disk_wake: true,
     workers: 1,
 };
 
@@ -72,7 +97,18 @@ struct Outcome {
     p99: u64,
 }
 
-fn run_http(scale: Scale, k: Knobs) -> Outcome {
+fn apply_knobs(c: &mut compass::SimConfig, k: Knobs, obs_counters: bool) {
+    c.backend.deadlock_ms = 60_000;
+    c.backend.batch_depth = k.batch_depth;
+    c.backend.workers = k.workers;
+    c.filter = k.filter;
+    c.kernel_batch_depth = k.kernel_batch_depth;
+    c.kernel_filter = k.kernel_filter;
+    c.disk_wake = k.disk_wake;
+    c.obs.counters = obs_counters;
+}
+
+fn run_http(scale: Scale, k: Knobs, obs_counters: bool) -> Outcome {
     let fileset = FileSetConfig { dirs: 2 };
     let trace = generate_trace(fileset, scale.requests, 0x5EC);
     let cfg = ServerConfig {
@@ -99,17 +135,96 @@ fn run_http(scale: Scale, k: Knobs) -> Outcome {
     for _ in 0..scale.server_procs {
         b = b.add_process(httplite::worker(cfg, Arc::clone(&tickets)));
     }
-    let c = b.config_mut();
-    c.backend.deadlock_ms = 60_000;
-    c.backend.batch_depth = k.batch_depth;
-    c.backend.workers = k.workers;
-    c.filter = k.filter;
-    c.kernel_batch_depth = k.kernel_batch_depth;
-    c.kernel_filter = k.kernel_filter;
+    apply_knobs(b.config_mut(), k, obs_counters);
     let report = b.run();
     let seen = stats.observed();
     let p99 = stats.latency_quantile(0.99);
     Outcome { report, seen, p99 }
+}
+
+/// The 10k-connection streaming row: the player draws its trace on
+/// demand ([`TracePlayer::streaming`]), so ten thousand connections
+/// cost the same player memory as ten — live state is the RNG plus the
+/// in-flight sessions, whose high-water mark (`peak_live`) the row
+/// records.
+fn run_streaming_10k(k: Knobs) -> (Outcome, u64) {
+    let fileset = FileSetConfig { dirs: 2 };
+    let requests = 10_000u32;
+    let cfg = ServerConfig {
+        keep_alive: true,
+        ..ServerConfig::default()
+    };
+    let player = TracePlayer::streaming(
+        fileset,
+        requests,
+        0x5EC,
+        PlayerConfig {
+            // keep_alive 1: every request is its own connection — the
+            // server accepts 10,000 of them.
+            keep_alive: 1,
+            ..PlayerConfig::http10(256, cfg.port)
+        },
+    );
+    let stats = player.stats();
+    let conns = player.expected_connections();
+    let tickets = SharedTickets::new(conns);
+    let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2))
+        .prepare_kernel(move |kernel| {
+            generate_fileset(kernel, fileset);
+        })
+        .traffic(player);
+    for _ in 0..4 {
+        b = b.add_process(httplite::worker(cfg, Arc::clone(&tickets)));
+    }
+    apply_knobs(b.config_mut(), k, false);
+    b.config_mut().backend.deadlock_ms = 120_000;
+    let report = b.run();
+    let seen = stats.observed();
+    let p99 = stats.latency_quantile(0.99);
+    (Outcome { report, seen, p99 }, conns)
+}
+
+/// The db2lite disk-path row: TPC-C-style terminals whose buffer-pool
+/// misses and WAL writes keep the disks busy — the workload the
+/// event-driven disk path (`disk_wake`) exists for.
+fn run_db2(k: Knobs, obs_counters: bool) -> RunReport {
+    const TERMINALS: u64 = 4;
+    let cfg = TpccConfig {
+        districts: 4,
+        customers: 32,
+        items: 64,
+        txns_per_terminal: 24,
+        new_order_pct: 50,
+        seed: 0xA27C,
+    };
+    let shared = Db2Shared::new(Db2Config {
+        pool_pages: 32,
+        shm_key: 0xDB2,
+    });
+    let sink = Arc::new(parking_lot::Mutex::new(vec![
+        TerminalStats::default();
+        TERMINALS as usize
+    ]));
+    let cust_index: Arc<parking_lot::Mutex<Option<Arc<compass_workloads::db2lite::index::Index>>>> =
+        Arc::new(parking_lot::Mutex::new(None));
+    let idx_slot = Arc::clone(&cust_index);
+    let shared_for_load = Arc::clone(&shared);
+    let mut b = SimBuilder::new(ArchConfig::ccnuma(2, 2)).prepare_kernel(move |kernel| {
+        *idx_slot.lock() = Some(tpcc::load(kernel, &shared_for_load, cfg));
+    });
+    for rank in 0..TERMINALS {
+        let idx = Arc::clone(&cust_index);
+        let shared = Arc::clone(&shared);
+        let sink = Arc::clone(&sink);
+        b = b.add_process(move |cpu: &mut compass::CpuCtx| {
+            let index = idx.lock().clone().expect("loader ran before terminals");
+            let mut body = tpcc::terminal(Arc::clone(&shared), cfg, rank, Arc::clone(&sink), index);
+            body(cpu)
+        });
+    }
+    apply_knobs(b.config_mut(), k, obs_counters);
+    b.config_mut().backend.timer_interval = Some(2_000_000);
+    b.run()
 }
 
 struct Row {
@@ -124,7 +239,7 @@ struct Row {
 
 fn measure(scale: Scale, k: Knobs) -> Row {
     let timing = TimingModel::powerpc_604();
-    let o = run_http(scale, k);
+    let o = run_http(scale, k, false);
     let wall = o.report.wall.as_secs_f64().max(1e-9);
     let sim_secs = timing.cycles_to_secs(o.report.backend.global_cycles);
     Row {
@@ -138,40 +253,42 @@ fn measure(scale: Scale, k: Knobs) -> Row {
     }
 }
 
-fn print_json(rows: &[Row], scale: Scale) {
-    let speedup = {
-        let base = rows
-            .iter()
-            .find(|r| r.label == "baseline")
-            .expect("baseline row");
-        let tuned = rows
-            .iter()
-            .find(|r| r.label == "batched+filtered")
-            .expect("tuned row");
-        tuned.events_per_sec / base.events_per_sec
-    };
-    let entries: Vec<String> = rows
+fn speedup_of(rows: &[Row]) -> f64 {
+    let base = rows
         .iter()
-        .map(|r| {
-            format!(
-                "    {{\"label\": \"{}\", \"batch_depth\": {}, \"filter\": {}, \
-                 \"kernel_batch_depth\": {}, \"kernel_filter\": {}, \"workers\": {}, \
-                 \"events_per_sec\": {:.0}, \"sim_requests_per_sec\": {:.1}, \
-                 \"p99_latency_cycles\": {}, \"p99_latency_ms\": {:.3}, \"wall_s\": {:.3}}}",
-                r.label,
-                r.knobs.batch_depth,
-                r.knobs.filter,
-                r.knobs.kernel_batch_depth,
-                r.knobs.kernel_filter,
-                r.knobs.workers,
-                r.events_per_sec,
-                r.sim_requests_per_sec,
-                r.p99_latency_cycles,
-                r.p99_latency_ms,
-                r.wall_s
-            )
-        })
-        .collect();
+        .find(|r| r.label == "baseline")
+        .expect("baseline row");
+    let tuned = rows
+        .iter()
+        .find(|r| r.label == "batched+filtered")
+        .expect("tuned row");
+    tuned.events_per_sec / base.events_per_sec
+}
+
+fn row_json(r: &Row) -> String {
+    format!(
+        "    {{\"label\": \"{}\", \"batch_depth\": {}, \"filter\": {}, \
+         \"kernel_batch_depth\": {}, \"kernel_filter\": {}, \"disk_wake\": {}, \
+         \"workers\": {}, \
+         \"events_per_sec\": {:.0}, \"sim_requests_per_sec\": {:.1}, \
+         \"p99_latency_cycles\": {}, \"p99_latency_ms\": {:.3}, \"wall_s\": {:.3}}}",
+        r.label,
+        r.knobs.batch_depth,
+        r.knobs.filter,
+        r.knobs.kernel_batch_depth,
+        r.knobs.kernel_filter,
+        r.knobs.disk_wake,
+        r.knobs.workers,
+        r.events_per_sec,
+        r.sim_requests_per_sec,
+        r.p99_latency_cycles,
+        r.p99_latency_ms,
+        r.wall_s
+    )
+}
+
+fn print_json(rows: &[Row], scale: Scale, extras: &[String]) {
+    let entries: Vec<String> = rows.iter().map(row_json).collect();
     println!("{{");
     println!("  \"bench\": \"http_os_wall\",");
     println!("  \"target_mhz\": 133,");
@@ -182,23 +299,38 @@ fn print_json(rows: &[Row], scale: Scale) {
     println!("  \"rows\": [");
     println!("{}", entries.join(",\n"));
     println!("  ],");
-    println!("  \"events_per_sec_speedup\": {speedup:.2}");
+    for e in extras {
+        println!("{e}");
+    }
+    println!("  \"events_per_sec_speedup\": {:.2}", speedup_of(rows));
     println!("}}");
 }
 
-/// Bit-identity gate for CI: batching/filtering the OS port (and shard
-/// workers on top) must not move a single backend statistic or lose a
-/// request.
+/// Reads `events_per_sec_speedup` out of the committed `BENCH_http.json`
+/// (no JSON dependency needed for one flat field).
+fn committed_speedup(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let at = text.find("\"events_per_sec_speedup\":")? + "\"events_per_sec_speedup\":".len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// CI gate: bit-identity across every throughput knob, then a throughput
+/// regression check against the committed baseline.
 fn smoke() -> i32 {
     let scale = Scale {
         requests: 48,
         clients: 6,
         server_procs: 2,
     };
-    let base = run_http(scale, BASELINE);
+    let base = run_http(scale, BASELINE, false);
     let base_stats = format!("{:#?}", base.report.backend);
     let mut failures = 0;
     for k in [
+        DEFAULTS,
         TUNED,
         Knobs {
             label: "batched+filtered+sharded",
@@ -206,7 +338,7 @@ fn smoke() -> i32 {
             ..TUNED
         },
     ] {
-        let got = run_http(scale, k);
+        let got = run_http(scale, k, false);
         if format!("{:#?}", got.report.backend) != base_stats {
             eprintln!("FAIL: BackendStats diverged under {}", k.label);
             failures += 1;
@@ -226,17 +358,98 @@ fn smoke() -> i32 {
     if failures == 0 {
         eprintln!(
             "ok: httplite BackendStats bit-identical across OS-port batching, \
-             kernel filtering, and shard workers ({} requests, {} conns)",
+             kernel filtering, disk-wake, and shard workers ({} requests, {} conns)",
             base.seen.completed, base.report.net.conns
         );
+    }
+
+    // Regression gate: the speedup the committed BENCH_http.json records
+    // must still be there, within 20%. Speedup (a same-host ratio)
+    // transfers across machines; absolute events/s does not.
+    let baseline_path =
+        std::env::var("BENCH_HTTP_BASELINE").unwrap_or_else(|_| "BENCH_http.json".into());
+    match committed_speedup(&baseline_path) {
+        Some(committed) => {
+            let scale = Scale {
+                requests: 120,
+                clients: 12,
+                server_procs: 2,
+            };
+            // The bit-identity runs above double as warmup.
+            let rows = [measure(scale, BASELINE), measure(scale, TUNED)];
+            let got = speedup_of(&rows);
+            if got < committed * 0.8 {
+                eprintln!(
+                    "FAIL: events/s speedup regressed: measured {got:.2}x, \
+                     committed {committed:.2}x (tolerance 20%)"
+                );
+                failures += 1;
+            } else {
+                eprintln!(
+                    "ok: events/s speedup {got:.2}x vs committed {committed:.2}x \
+                     (tolerance 20%)"
+                );
+            }
+        }
+        None => eprintln!(
+            "note: no committed baseline at {baseline_path}; skipping the \
+             throughput regression gate"
+        ),
     }
     failures
 }
 
+/// Kernel-mirror maintenance profile: what reference filtering costs
+/// (mirror upkeep) and saves (rendezvous eliminated), with the
+/// deferred-refresh counter showing how rarely the lazy epoch clear
+/// actually runs.
+fn profile_mirrors() -> i32 {
+    let scale = Scale {
+        requests: 120,
+        clients: 12,
+        server_procs: 2,
+    };
+    println!("{{");
+    println!("  \"bench\": \"http_mirror_profile\",");
+    println!("  \"rows\": [");
+    let mut entries = Vec::new();
+    for (label, kernel_filter) in [("filter-off", false), ("filter-on", true)] {
+        let k = Knobs {
+            label,
+            kernel_filter,
+            ..TUNED
+        };
+        let o = run_http(scale, k, true);
+        let obs = o.report.obs.as_ref().expect("counters enabled");
+        let wall = o.report.wall.as_secs_f64().max(1e-9);
+        let eps = o.report.backend.events as f64 / wall;
+        eprintln!(
+            "{label:<11} {eps:>12.0} events/s  refs_filtered {:>9}  mirror_refreshes {:>6}  mispredicts {:>6}",
+            obs.counter("kernel_refs_filtered"),
+            obs.counter("kernel_mirror_refreshes"),
+            obs.counter("filter_mispredicts"),
+        );
+        entries.push(format!(
+            "    {{\"label\": \"{label}\", \"events_per_sec\": {eps:.0}, \
+             \"kernel_refs_filtered\": {}, \"kernel_mirror_refreshes\": {}, \
+             \"filter_mispredicts\": {}, \"wall_s\": {wall:.3}}}",
+            obs.counter("kernel_refs_filtered"),
+            obs.counter("kernel_mirror_refreshes"),
+            obs.counter("filter_mispredicts"),
+        ));
+    }
+    println!("{}", entries.join(",\n"));
+    println!("  ]");
+    println!("}}");
+    0
+}
+
 fn main() {
+    let timing = TimingModel::powerpc_604();
     let arg = std::env::args().nth(1);
     match arg.as_deref() {
         Some("--smoke") => std::process::exit(smoke()),
+        Some("--profile-mirrors") => std::process::exit(profile_mirrors()),
         Some("--short") => {
             let scale = Scale {
                 requests: 120,
@@ -250,7 +463,7 @@ fn main() {
                     r.label, r.events_per_sec, r.sim_requests_per_sec, r.p99_latency_ms
                 );
             }
-            print_json(&rows, scale);
+            print_json(&rows, scale, &[]);
         }
         _ => {
             let scale = Scale {
@@ -266,6 +479,18 @@ fn main() {
                     kernel_batch_depth: 64,
                     ..BASELINE
                 },
+                Knobs {
+                    label: "kernel-batched+disk-wake",
+                    kernel_batch_depth: 64,
+                    disk_wake: true,
+                    ..BASELINE
+                },
+                Knobs {
+                    label: "default-no-disk-wake",
+                    disk_wake: false,
+                    ..DEFAULTS
+                },
+                DEFAULTS,
                 TUNED,
                 Knobs {
                     label: "batched+filtered+sharded",
@@ -280,7 +505,80 @@ fn main() {
                 );
                 rows.push(r);
             }
-            print_json(&rows, scale);
+
+            let mut extras = Vec::new();
+
+            // Disk-wake proof: an obs-counter run showing the daemon
+            // woke by event and how many device polls that eliminated.
+            let counted = run_http(
+                Scale {
+                    requests: 120,
+                    clients: 12,
+                    server_procs: 2,
+                },
+                TUNED,
+                true,
+            );
+            let obs = counted.report.obs.as_ref().expect("counters enabled");
+            extras.push(format!(
+                "  \"disk_wake\": {{\"disk_wake_events\": {}, \"disk_polls_eliminated\": {}}},",
+                obs.counter("disk_wake_events"),
+                obs.counter("disk_polls_eliminated"),
+            ));
+
+            // db2lite disk path: the same knob flip on a disk-bound
+            // transaction workload.
+            let db2_poll = run_db2(
+                Knobs {
+                    disk_wake: false,
+                    ..TUNED
+                },
+                false,
+            );
+            let db2_wake = run_db2(TUNED, true);
+            let db2_obs = db2_wake.obs.as_ref().expect("counters enabled");
+            let eps = |r: &RunReport| r.backend.events as f64 / r.wall.as_secs_f64().max(1e-9);
+            eprintln!(
+                "db2lite  poll {:>12.0} events/s  wake {:>12.0} events/s  \
+                 dwakes {}  dpolls_cut {}",
+                eps(&db2_poll),
+                eps(&db2_wake),
+                db2_obs.counter("disk_wake_events"),
+                db2_obs.counter("disk_polls_eliminated"),
+            );
+            extras.push(format!(
+                "  \"db2lite\": {{\"events_per_sec_poll\": {:.0}, \
+                 \"events_per_sec_wake\": {:.0}, \"disk_wake_events\": {}, \
+                 \"disk_polls_eliminated\": {}}},",
+                eps(&db2_poll),
+                eps(&db2_wake),
+                db2_obs.counter("disk_wake_events"),
+                db2_obs.counter("disk_polls_eliminated"),
+            ));
+
+            // The streaming 10k-connection row.
+            let (o, conns) = run_streaming_10k(TUNED);
+            let wall = o.report.wall.as_secs_f64().max(1e-9);
+            let eps10k = o.report.backend.events as f64 / wall;
+            eprintln!(
+                "streaming-10k  {} conns  {:>12.0} events/s  peak_live {}  p99 {:>7.2} ms  ({:.2}s)",
+                o.seen.connections,
+                eps10k,
+                o.seen.peak_live,
+                timing.cycles_to_secs(o.p99) * 1e3,
+                wall
+            );
+            extras.push(format!(
+                "  \"streaming_10k\": {{\"connections\": {}, \"expected_connections\": {conns}, \
+                 \"requests_completed\": {}, \"events_per_sec\": {eps10k:.0}, \
+                 \"peak_live_sessions\": {}, \"p99_latency_ms\": {:.3}, \"wall_s\": {wall:.3}}},",
+                o.seen.connections,
+                o.seen.completed,
+                o.seen.peak_live,
+                timing.cycles_to_secs(o.p99) * 1e3,
+            ));
+
+            print_json(&rows, scale, &extras);
         }
     }
 }

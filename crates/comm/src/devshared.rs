@@ -7,6 +7,15 @@
 //! code (bottom half, §3.2) drains the queues under a simulated kernel
 //! lock, so the *simulated* drain order is deterministic; the host-level
 //! mutexes below only provide memory safety.
+//!
+//! Every queue keeps an atomic earliest-due-time alongside the mutex, so
+//! the hot "is anything due at `now`?" probes — one per OS-daemon block
+//! and one per handler drain pass — are answered with a relaxed load
+//! instead of a lock acquisition plus an O(pending) scan. The invariant
+//! (`earliest == min(due times)`, `u64::MAX` when empty) is maintained
+//! under the queue lock; fast-path readers rely on the reply-channel
+//! synchronization that already orders deposits before the wake that
+//! services them. Eliminated scans are counted in `polls_eliminated`.
 
 use compass_isa::{ConnId, CpuId, Cycles, DiskId, NicId};
 use parking_lot::Mutex;
@@ -67,32 +76,105 @@ pub struct TimerTick {
     pub time: Cycles,
 }
 
+/// One device queue plus its lock-free due-time summary.
+struct DueQueue<T> {
+    q: Mutex<VecDeque<T>>,
+    /// Minimum due time of queued records, `u64::MAX` when empty.
+    /// Written only under `q`'s lock; read without it.
+    earliest: AtomicU64,
+    total: AtomicU64,
+}
+
+impl<T: Clone> DueQueue<T> {
+    fn new() -> Self {
+        Self {
+            q: Mutex::new(VecDeque::new()),
+            earliest: AtomicU64::new(u64::MAX),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, item: T, time: Cycles) {
+        let mut q = self.q.lock();
+        q.push_back(item);
+        self.earliest.fetch_min(time, Ordering::AcqRel);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Earliest due time, `u64::MAX` if the queue is (last seen) empty.
+    fn earliest(&self) -> u64 {
+        self.earliest.load(Ordering::Acquire)
+    }
+
+    fn drain_all(&self) -> Vec<T> {
+        if self.earliest() == u64::MAX {
+            return Vec::new();
+        }
+        let mut q = self.q.lock();
+        let out: Vec<T> = q.drain(..).collect();
+        self.earliest.store(u64::MAX, Ordering::Release);
+        out
+    }
+
+    /// Drains records due at or before `now`; `skipped` counts calls the
+    /// due-time summary answered without locking.
+    fn drain_until(&self, now: Cycles, due: impl Fn(&T) -> Cycles, skipped: &AtomicU64) -> Vec<T> {
+        if self.earliest() > now {
+            skipped.fetch_add(1, Ordering::Relaxed);
+            return Vec::new();
+        }
+        let mut q = self.q.lock();
+        let mut out = Vec::new();
+        let mut min = u64::MAX;
+        q.retain(|it| {
+            let t = due(it);
+            if t <= now {
+                out.push(it.clone());
+                false
+            } else {
+                min = min.min(t);
+                true
+            }
+        });
+        self.earliest.store(min, Ordering::Release);
+        out
+    }
+}
+
 /// The postbox itself.
-#[derive(Default)]
 pub struct DevShared {
-    disk: Mutex<VecDeque<DiskCompletion>>,
-    nic_rx: Mutex<VecDeque<Frame>>,
-    timer: Mutex<VecDeque<TimerTick>>,
-    disk_total: AtomicU64,
-    frames_total: AtomicU64,
-    ticks_total: AtomicU64,
+    disk: DueQueue<DiskCompletion>,
+    nic_rx: DueQueue<Frame>,
+    timer: DueQueue<TimerTick>,
+    polls_eliminated: AtomicU64,
+}
+
+impl Default for DevShared {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DevShared {
     /// Creates an empty postbox.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            disk: DueQueue::new(),
+            nic_rx: DueQueue::new(),
+            timer: DueQueue::new(),
+            polls_eliminated: AtomicU64::new(0),
+        }
     }
 
     /// Deposits a disk completion (backend side).
     pub fn push_disk(&self, c: DiskCompletion) {
-        self.disk.lock().push_back(c);
-        self.disk_total.fetch_add(1, Ordering::Relaxed);
+        let t = c.time;
+        self.disk.push(c, t);
     }
 
     /// Drains all pending disk completions (interrupt handler side).
     pub fn drain_disk(&self) -> Vec<DiskCompletion> {
-        self.disk.lock().drain(..).collect()
+        self.disk.drain_all()
     }
 
     /// Drains disk completions with `time <= now`.
@@ -102,93 +184,78 @@ impl DevShared {
     /// if they have already arrived in host time — this filter is what
     /// keeps handler behaviour deterministic.
     pub fn drain_disk_until(&self, now: Cycles) -> Vec<DiskCompletion> {
-        let mut q = self.disk.lock();
-        let mut out = Vec::new();
-        q.retain(|c| {
-            if c.time <= now {
-                out.push(*c);
-                false
-            } else {
-                true
-            }
-        });
-        out
+        self.disk
+            .drain_until(now, |c| c.time, &self.polls_eliminated)
     }
 
     /// Deposits a received frame (backend NIC model).
     pub fn push_frame(&self, f: Frame) {
-        self.nic_rx.lock().push_back(f);
-        self.frames_total.fetch_add(1, Ordering::Relaxed);
+        let t = f.time;
+        self.nic_rx.push(f, t);
     }
 
     /// Drains all pending frames (Ethernet interrupt handler).
     pub fn drain_frames(&self) -> Vec<Frame> {
-        self.nic_rx.lock().drain(..).collect()
+        self.nic_rx.drain_all()
     }
 
     /// Drains frames with `time <= now` (see [`DevShared::drain_disk_until`]).
     pub fn drain_frames_until(&self, now: Cycles) -> Vec<Frame> {
-        let mut q = self.nic_rx.lock();
-        let mut out = Vec::new();
-        q.retain(|f| {
-            if f.time <= now {
-                out.push(f.clone());
-                false
-            } else {
-                true
-            }
-        });
-        out
+        self.nic_rx
+            .drain_until(now, |f| f.time, &self.polls_eliminated)
     }
 
     /// Deposits a timer tick (backend interval timer).
     pub fn push_tick(&self, t: TimerTick) {
-        self.timer.lock().push_back(t);
-        self.ticks_total.fetch_add(1, Ordering::Relaxed);
+        let due = t.time;
+        self.timer.push(t, due);
     }
 
     /// Drains all pending timer ticks (timer interrupt handler).
     pub fn drain_ticks(&self) -> Vec<TimerTick> {
-        self.timer.lock().drain(..).collect()
+        self.timer.drain_all()
     }
 
     /// Drains timer ticks with `time <= now`
     /// (see [`DevShared::drain_disk_until`]).
     pub fn drain_ticks_until(&self, now: Cycles) -> Vec<TimerTick> {
-        let mut q = self.timer.lock();
-        let mut out = Vec::new();
-        q.retain(|t| {
-            if t.time <= now {
-                out.push(*t);
-                false
-            } else {
-                true
-            }
-        });
-        out
+        self.timer
+            .drain_until(now, |t| t.time, &self.polls_eliminated)
     }
 
-    /// True if any queue holds work.
+    /// True if any queue holds work. Three atomic loads, no locks.
     pub fn has_work(&self) -> bool {
-        !self.disk.lock().is_empty()
-            || !self.nic_rx.lock().is_empty()
-            || !self.timer.lock().is_empty()
+        self.disk.earliest() != u64::MAX
+            || self.nic_rx.earliest() != u64::MAX
+            || self.timer.earliest() != u64::MAX
     }
 
-    /// True if any queue holds work due at or before `now`.
+    /// True if any queue holds work due at or before `now`. Answered from
+    /// the due-time summaries — no locks, no scans; a fruitless probe is
+    /// counted as an eliminated poll.
     pub fn has_work_until(&self, now: Cycles) -> bool {
-        self.disk.lock().iter().any(|c| c.time <= now)
-            || self.nic_rx.lock().iter().any(|f| f.time <= now)
-            || self.timer.lock().iter().any(|t| t.time <= now)
+        let due = self.disk.earliest() <= now
+            || self.nic_rx.earliest() <= now
+            || self.timer.earliest() <= now;
+        if !due {
+            self.polls_eliminated.fetch_add(1, Ordering::Relaxed);
+        }
+        due
     }
 
     /// Lifetime totals `(disk completions, frames, ticks)`.
     pub fn totals(&self) -> (u64, u64, u64) {
         (
-            self.disk_total.load(Ordering::Relaxed),
-            self.frames_total.load(Ordering::Relaxed),
-            self.ticks_total.load(Ordering::Relaxed),
+            self.disk.total.load(Ordering::Relaxed),
+            self.nic_rx.total.load(Ordering::Relaxed),
+            self.timer.total.load(Ordering::Relaxed),
         )
+    }
+
+    /// Queue probes (blocked-daemon checks and handler drain passes) the
+    /// due-time summaries answered without a lock acquisition or scan.
+    pub fn polls_eliminated(&self) -> u64 {
+        self.polls_eliminated.load(Ordering::Relaxed)
     }
 }
 
@@ -284,6 +351,39 @@ mod tests {
         });
         assert!(d.has_work());
         d.drain_ticks();
+        assert!(!d.has_work());
+    }
+
+    #[test]
+    fn due_time_summary_tracks_drains_and_counts_eliminated_polls() {
+        let d = DevShared::new();
+        // Empty postbox: every probe and filtered drain is lock-free.
+        assert!(!d.has_work_until(u64::MAX - 1));
+        assert!(d.drain_disk_until(100).is_empty());
+        assert!(d.drain_frames_until(100).is_empty());
+        assert!(d.drain_ticks_until(100).is_empty());
+        assert_eq!(d.polls_eliminated(), 4);
+
+        // Future-only records keep the fast path active below their due
+        // time and the summary is rebuilt after a partial drain.
+        d.push_disk(DiskCompletion {
+            disk: DiskId(1),
+            token: 9,
+            write: true,
+            time: 500,
+        });
+        d.push_disk(DiskCompletion {
+            disk: DiskId(1),
+            token: 10,
+            write: false,
+            time: 900,
+        });
+        assert!(!d.has_work_until(499));
+        assert!(d.has_work_until(500));
+        assert!(d.drain_disk_until(499).is_empty());
+        assert_eq!(d.drain_disk_until(500).len(), 1);
+        assert!(!d.has_work_until(899));
+        assert_eq!(d.drain_disk_until(900).len(), 1);
         assert!(!d.has_work());
     }
 }

@@ -42,6 +42,14 @@ pub struct SimConfig {
     /// logging them for authoritative backend replay. Bit-identical
     /// backend results either way; ignored when `pseudo_irq` is on.
     pub kernel_filter: bool,
+    /// Event-driven disk path (ISSUE 9): the bottom-half daemon's
+    /// interrupt handlers ride the batched-event protocol (depth =
+    /// `kernel_batch_depth`), settling latencies through the port credit
+    /// instead of rendezvousing per kernel reference. Device-queue
+    /// drains only ever run at settled points, so results stay
+    /// bit-identical either way. Ignored when `pseudo_irq` is on or
+    /// `kernel_batch_depth` is 1.
+    pub disk_wake: bool,
     /// Observability: counters, structured trace, progress snapshots.
     /// Off by default; never consulted by simulation logic, so it cannot
     /// change simulated results.
@@ -66,6 +74,7 @@ impl SimConfig {
             filter: false,
             kernel_batch_depth: 8,
             kernel_filter: false,
+            disk_wake: true,
             obs: ObsConfig::default(),
         }
     }
@@ -79,7 +88,9 @@ impl SimConfig {
         self
     }
 
-    /// Validates cross-component consistency.
+    /// Validates cross-component consistency. Nonsensical knob
+    /// combinations are rejected here, at build time, instead of failing
+    /// (or being silently meaningless) deep inside a run.
     pub fn validate(&self) -> Result<(), String> {
         self.backend.validate()?;
         if self.kernel.ndisks != self.backend.disks {
@@ -87,6 +98,30 @@ impl SimConfig {
                 "kernel stripes over {} disks but the backend models {}",
                 self.kernel.ndisks, self.backend.disks
             ));
+        }
+        if self.kernel_batch_depth == 0 {
+            return Err(
+                "kernel_batch_depth must be >= 1 (1 = classic per-event rendezvous)".into(),
+            );
+        }
+        if self.sample_period == 0 {
+            return Err("sample_period must be >= 1 (1 = every reference)".into());
+        }
+        // `filter`/`kernel_filter` are documented as ignored under
+        // pseudo-IRQ delivery (the per-reply flag check would be
+        // skipped); asking for both explicitly is a contradiction, not a
+        // default, so refuse it outright. `kernel_batch_depth > 1` and
+        // `disk_wake` stay warn-and-ignore: they are on by default and
+        // pseudo_irq users never chose them.
+        if self.pseudo_irq && self.filter {
+            return Err("filter is incompatible with pseudo_irq (replies carry \
+                 the IRQ flag the filter would skip); disable one"
+                .into());
+        }
+        if self.pseudo_irq && self.kernel_filter {
+            return Err("kernel_filter is incompatible with pseudo_irq (interrupt \
+                 work must see authoritative replies); disable one"
+                .into());
         }
         Ok(())
     }
@@ -105,6 +140,30 @@ mod tests {
     fn disk_mismatch_is_caught() {
         let mut c = SimConfig::new(ArchConfig::simple_smp(2));
         c.kernel.ndisks = 7;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_knobs_are_rejected_at_build_time() {
+        let mut c = SimConfig::new(ArchConfig::simple_smp(2));
+        c.kernel_batch_depth = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::new(ArchConfig::simple_smp(2));
+        c.sample_period = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn pseudo_irq_refuses_explicit_filters_but_tolerates_defaults() {
+        let mut c = SimConfig::new(ArchConfig::simple_smp(2));
+        c.pseudo_irq = true;
+        // Defaults (batch depth 8, disk_wake on) are warn-and-ignore.
+        c.validate().unwrap();
+        c.filter = true;
+        assert!(c.validate().is_err());
+        c.filter = false;
+        c.kernel_filter = true;
         assert!(c.validate().is_err());
     }
 }

@@ -299,8 +299,23 @@ impl SimBuilder {
             });
         let os_server =
             OsServer::start_with_perf(Arc::clone(&kernel), os_threads, os_obs, kernel_perf);
-        let daemon_handle =
-            os_server.start_daemon(daemon_pid, Arc::clone(&ports[daemon_pid.index()]));
+        // Event-driven disk path (ISSUE 9): the bottom-half daemon gets a
+        // batching-only sink so interrupt handlers settle their kernel
+        // references through the port credit. Off under pseudo-IRQ for
+        // the same reason as the syscall-path perf above, and pointless
+        // at depth 1.
+        let daemon_perf = (!config.pseudo_irq && config.disk_wake && config.kernel_batch_depth > 1)
+            .then(|| compass_os::KernelPerfSetup {
+                batch_depth: config.kernel_batch_depth,
+                filter: None,
+                cpu_states: Arc::clone(&cpu_states),
+                counters: os_block.clone(),
+            });
+        let daemon_handle = os_server.start_daemon_with_perf(
+            daemon_pid,
+            Arc::clone(&ports[daemon_pid.index()]),
+            daemon_perf,
+        );
 
         // --- Backend ---
         let mut backend = Backend::new(

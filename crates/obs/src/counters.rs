@@ -113,10 +113,22 @@ pub enum Ctr {
     /// Interval-timer polls skipped because the target CPU was idle (the
     /// tick disarms instead of rescheduling).
     DevicePollsEliminated,
+    /// Disk/NIC completion deliveries that woke the blocked OS bottom-half
+    /// daemon (wake-driven, not polled).
+    DiskWakeEvents,
+    /// Device-queue probes (blocked-daemon checks and handler drain
+    /// passes) the postbox due-time summary answered without a lock
+    /// acquisition or queue scan.
+    DiskPollsEliminated,
+    /// Wholesale kernel-mirror clears actually executed. Epoch bumps set
+    /// a deferred-refresh flag instead of clearing; the clear runs only
+    /// when stale contents would otherwise predict a hit, so consecutive
+    /// bumps between kernel references coalesce into at most one clear.
+    KernelMirrorRefreshes,
 }
 
 /// Number of counters in the catalogue.
-pub const CTR_COUNT: usize = Ctr::DevicePollsEliminated as usize + 1;
+pub const CTR_COUNT: usize = Ctr::KernelMirrorRefreshes as usize + 1;
 
 impl Ctr {
     /// Every counter, in slot order.
@@ -161,6 +173,9 @@ impl Ctr {
         Ctr::KernelRefsFiltered,
         Ctr::DeviceWakeEvents,
         Ctr::DevicePollsEliminated,
+        Ctr::DiskWakeEvents,
+        Ctr::DiskPollsEliminated,
+        Ctr::KernelMirrorRefreshes,
     ];
 
     /// Stable snake_case name used in reports and JSON exports.
@@ -206,6 +221,9 @@ impl Ctr {
             Ctr::KernelRefsFiltered => "kernel_refs_filtered",
             Ctr::DeviceWakeEvents => "device_wake_events",
             Ctr::DevicePollsEliminated => "device_polls_eliminated",
+            Ctr::DiskWakeEvents => "disk_wake_events",
+            Ctr::DiskPollsEliminated => "disk_polls_eliminated",
+            Ctr::KernelMirrorRefreshes => "kernel_mirror_refreshes",
         }
     }
 }

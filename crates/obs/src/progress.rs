@@ -38,6 +38,11 @@ pub struct ProgressSnapshot {
     pub device_wake_events: u64,
     /// Idle interval-timer polls eliminated so far.
     pub device_polls_eliminated: u64,
+    /// Disk/NIC completions that woke the blocked bottom-half daemon.
+    pub disk_wake_events: u64,
+    /// Device-queue probes the postbox due-time summary answered without
+    /// a lock or scan.
+    pub disk_polls_eliminated: u64,
 }
 
 impl ProgressSnapshot {
@@ -65,6 +70,12 @@ impl ProgressSnapshot {
                 self.device_wake_events, self.device_polls_eliminated
             ));
         }
+        if self.disk_wake_events > 0 || self.disk_polls_eliminated > 0 {
+            line.push_str(&format!(
+                " dwakes={} dpolls_cut={}",
+                self.disk_wake_events, self.disk_polls_eliminated
+            ));
+        }
         line
     }
 }
@@ -90,6 +101,8 @@ mod tests {
             kernel_refs_filtered: 41,
             device_wake_events: 12,
             device_polls_eliminated: 5,
+            disk_wake_events: 4,
+            disk_polls_eliminated: 8,
         };
         let line = s.one_line();
         assert!(line.contains("t=1234"));

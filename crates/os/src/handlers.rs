@@ -18,9 +18,16 @@ use compass_comm::{DiskCompletion, Frame, FrameKind, TimerTick};
 use compass_isa::ProcessId;
 
 /// Drains and services all device work due at the handler's clock.
+///
+/// The handler context may carry batching-only perf state (the daemon's
+/// `disk_wake` sink): drains then rely on the clock being *exact*, which
+/// holds because each drain pass starts right after a blocking post (the
+/// `INTR` lock, or the previous handler's trailing unlock/unblock) — the
+/// settled-at-drain invariant asserted below.
 pub fn run_pending(kc: &mut KernelCtx<'_>, k: &KernelShared) {
     kc.lock(locks::INTR);
     loop {
+        debug_assert_eq!(kc.batch_pending(), 0, "drain with a credit-lagged clock");
         let disks = k.devshared.drain_disk_until(kc.clock);
         let frames = k.devshared.drain_frames_until(kc.clock);
         let ticks = k.devshared.drain_ticks_until(kc.clock);

@@ -116,10 +116,12 @@ impl KernelPerfSetup {
                 tlb: (f.tlb_entries > 0).then(|| Tlb::new(f.tlb_entries, f.tlb_assoc)),
                 hit_lat: f.hit_lat,
                 seen_epoch: u64::MAX,
+                needs_refresh: false,
                 log: Vec::new(),
             }),
             cpu_states: Arc::clone(&self.cpu_states),
             cpu: CpuId(0),
+            epoch_at_post: 0,
             counters: self.counters.clone(),
         }
     }
@@ -140,15 +142,30 @@ struct KernelFilter {
     tlb: Option<Tlb>,
     hit_lat: Cycles,
     seen_epoch: u64,
+    /// Set on epoch mismatch instead of clearing the mirrors eagerly
+    /// (O(lines) per bump). The wholesale clear is deferred until stale
+    /// contents would otherwise predict a hit; bumps with no intervening
+    /// stale hit — the common case around interrupt service — coalesce
+    /// into at most one clear. Safe because a mispredicted hit is still
+    /// replayed authoritatively (it costs only transient local-clock
+    /// skew, never a stats difference).
+    needs_refresh: bool,
     log: Vec<Event>,
 }
 
 /// Per-OS-thread perf state: event batching and reference filtering for
-/// the *syscall dispatch* kernel context. Interrupt-mode contexts (the
-/// bottom-half daemon, pseudo-IRQ delivery) must NOT use this: their
-/// handlers drain device records `until(kc.clock)`, so a credit-lagged
-/// clock would change which records they service and break the
-/// bit-identity invariant across batch depths.
+/// kernel contexts.
+///
+/// Interrupt-mode contexts (the bottom-half daemon) may attach
+/// batching-only state *provided* every device-queue drain happens at a
+/// settled point — `batch_pending == 0`, where the logical clock is
+/// exact. `handlers::run_pending` guarantees this structurally (drains
+/// run right after a blocking lock acquisition, and every handler body
+/// ends in blocking unlock/unblock posts that settle its batched
+/// events) and debug-asserts it at each drain point. A credit-lagged
+/// clock at a drain would change which records `drain_*_until(kc.clock)`
+/// services and break bit-identity across batch depths; a settled clock
+/// cannot.
 pub struct KernelPerf {
     batch_depth: usize,
     /// Non-blocking kernel events published since the last blocking post.
@@ -164,6 +181,11 @@ pub struct KernelPerf {
     /// replies. A stale value is safe: a wrong epoch only mis-predicts,
     /// and every filtered reference is replayed authoritatively anyway.
     cpu: CpuId,
+    /// The CPU's epoch as sampled at the last blocking rendezvous — one
+    /// atomic load per post instead of one per kernel memory reference.
+    /// Bumps landing between posts are seen at the next rendezvous; the
+    /// missed window only yields tolerated (replayed) mispredicts.
+    epoch_at_post: u64,
     counters: Option<Arc<CounterBlock>>,
 }
 
@@ -287,8 +309,18 @@ impl<'a> KernelCtx<'a> {
             if let ReplyData::Cpu { cpu } = r.data {
                 p.cpu = cpu;
             }
+            if p.filter.is_some() {
+                p.epoch_at_post = p.cpu_states.epoch(p.cpu);
+            }
         }
         r
+    }
+
+    /// Outstanding batched (credit-settled) kernel events; 0 means the
+    /// logical clock is exact. Interrupt handlers assert this before
+    /// draining device queues `until(clock)`.
+    pub fn batch_pending(&self) -> usize {
+        self.perf.as_ref().map_or(0, |p| p.batch_pending)
     }
 
     /// One kernel memory reference: filter (predicted hits stay local,
@@ -311,21 +343,33 @@ impl<'a> KernelCtx<'a> {
             Some(p) => {
                 let mut filtered = None;
                 if let Some(f) = &mut p.filter {
-                    let epoch = p.cpu_states.epoch(p.cpu);
-                    if epoch != f.seen_epoch {
+                    if p.epoch_at_post != f.seen_epoch {
                         // The backend changed this CPU's private state
-                        // (coherence action, context switch, interrupt):
-                        // start cold.
-                        f.seen_epoch = epoch;
-                        f.mirror.refresh();
-                        if let Some(t) = &mut f.tlb {
-                            t.flush();
-                        }
+                        // (coherence action, context switch, interrupt).
+                        // Don't pay the O(lines) clear yet: flag the
+                        // mirrors stale and defer until stale contents
+                        // would actually predict a hit.
+                        f.seen_epoch = p.epoch_at_post;
+                        f.needs_refresh = true;
                     }
                     // Both mirrors observe every reference (optimistic
                     // fill), so don't short-circuit the pair.
                     let tlb_hit = f.tlb.as_mut().is_none_or(|t| t.access(self.pid, va));
-                    let l1_hit = f.mirror.access(u64::from(va.0), kind.is_write());
+                    let mut l1_hit = f.mirror.access(u64::from(va.0), kind.is_write());
+                    if tlb_hit && l1_hit && f.needs_refresh {
+                        // Stale contents predicted a hit: run the
+                        // deferred wholesale clear now and treat this
+                        // reference as cold.
+                        f.mirror.refresh();
+                        if let Some(t) = &mut f.tlb {
+                            t.flush();
+                        }
+                        f.needs_refresh = false;
+                        l1_hit = false;
+                        if let Some(c) = &p.counters {
+                            c.inc(Ctr::KernelMirrorRefreshes);
+                        }
+                    }
                     if tlb_hit && l1_hit {
                         f.log.push(Event {
                             pid: self.pid,

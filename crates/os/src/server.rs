@@ -311,8 +311,8 @@ impl OsServer {
     /// optional kernel-side performance setup (event batching and
     /// reference filtering for syscall-path kernel code — ISSUE 6). The
     /// setup is rebuilt into fresh per-pairing state on every Connect;
-    /// interrupt-context work (pseudo IRQs, the bottom-half daemon) never
-    /// uses it.
+    /// pseudo-IRQ delivery never uses it, and the bottom-half daemon has
+    /// its own batching-only setup (see [`OsServer::start_daemon_with_perf`]).
     pub fn start_with_perf(
         kernel: Arc<KernelShared>,
         nthreads: usize,
@@ -385,10 +385,28 @@ impl OsServer {
     /// "Dedicated threads can be scheduled to simulate bottom half kernel
     /// activities." (§3.1)
     pub fn start_daemon(&self, daemon_pid: ProcessId, port: Arc<EventPort>) -> JoinHandle<()> {
+        self.start_daemon_with_perf(daemon_pid, port, None)
+    }
+
+    /// Like [`OsServer::start_daemon`], with an optional *batching-only*
+    /// perf setup for the daemon's interrupt context (the `disk_wake`
+    /// knob). The setup must not carry a filter config: handler drains
+    /// run `until(kc.clock)` and only the batching protocol's
+    /// settled-at-drain invariant is established for interrupt mode.
+    pub fn start_daemon_with_perf(
+        &self,
+        daemon_pid: ProcessId,
+        port: Arc<EventPort>,
+        perf: Option<KernelPerfSetup>,
+    ) -> JoinHandle<()> {
+        assert!(
+            perf.as_ref().is_none_or(|p| p.filter.is_none()),
+            "daemon perf must be batching-only (no kernel filter)"
+        );
         let k = Arc::clone(&self.kernel);
         std::thread::Builder::new()
             .name("kernel-bottom-half".into())
-            .spawn(move || daemon_main(daemon_pid, port, k))
+            .spawn(move || daemon_main(daemon_pid, port, k, perf))
             .expect("spawn kernel daemon")
     }
 
@@ -572,12 +590,29 @@ fn os_thread_main(
 
 /// The bottom-half daemon: blocks until the backend signals device work,
 /// drains the postbox through the interrupt handlers, blocks again.
-fn daemon_main(pid: ProcessId, port: Arc<EventPort>, kernel: Arc<KernelShared>) {
+///
+/// With `perf` attached (the `disk_wake` knob) the handlers' kernel
+/// memory references ride the batched-event protocol instead of
+/// rendezvousing one at a time. This is safe in interrupt mode because
+/// every device-queue drain and every raw `Block` post below happens at
+/// a settled point (`batch_pending == 0`): each handler body ends in
+/// blocking unlock/unblock posts that fold outstanding credit, so the
+/// daemon's clock is exact whenever it matters.
+fn daemon_main(
+    pid: ProcessId,
+    port: Arc<EventPort>,
+    kernel: Arc<KernelShared>,
+    perf: Option<KernelPerfSetup>,
+) {
     // A poisoned port makes any kernel post unwind with SimAbort; the
     // daemon treats that like Shutdown — the backend is gone.
     let _ = absorb_abort(move || {
+        let mut perf_state = perf.as_ref().map(KernelPerfSetup::build);
         let sink = PortSink(port);
         let mut kc = KernelCtx::new(pid, &sink, 0, ExecMode::Interrupt, kernel.cfg.touch_gran);
+        if let Some(p) = &mut perf_state {
+            kc = kc.with_perf(p);
+        }
         // Announce ourselves to the backend.
         let r = sink.0.post(Event {
             pid,
@@ -586,6 +621,9 @@ fn daemon_main(pid: ProcessId, port: Arc<EventPort>, kernel: Arc<KernelShared>) 
         });
         kc.clock += r.latency;
         loop {
+            // The raw post below bypasses the kernel context's perf
+            // bookkeeping, which is only sound while nothing is pending.
+            debug_assert_eq!(kc.batch_pending(), 0, "daemon blocking with credit");
             let r = sink.0.post(Event {
                 pid,
                 time: kc.clock,

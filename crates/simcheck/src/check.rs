@@ -27,10 +27,11 @@ pub struct RunOutput {
 /// filtering for this run (callers pass `sc.filter` or its negation for
 /// the filter differential); `workers` likewise sets the backend
 /// shard-worker count (callers pass `sc.workers` or `1` for the
-/// workers-twin differential); `os_batch` and `kernel_filter` set the
-/// kernel-side OS-port batch depth and kernel reference filtering the
-/// same way for their twins. A deadlock comes back as `Err` so soak
-/// runs record and shrink it instead of dying.
+/// workers-twin differential); `os_batch`, `kernel_filter` and
+/// `disk_wake` set the kernel-side OS-port batch depth, kernel
+/// reference filtering and the event-driven disk path the same way for
+/// their twins. A deadlock comes back as `Err` so soak runs record and
+/// shrink it instead of dying.
 #[allow(clippy::too_many_arguments)]
 pub fn run_scenario(
     sc: &Scenario,
@@ -41,6 +42,7 @@ pub fn run_scenario(
     workers: usize,
     os_batch: usize,
     kernel_filter: bool,
+    disk_wake: bool,
 ) -> Result<RunOutput, RunError> {
     run_scenario_ckpt(
         sc,
@@ -51,6 +53,7 @@ pub fn run_scenario(
         workers,
         os_batch,
         kernel_filter,
+        disk_wake,
         CkptMode::Off,
     )
 }
@@ -86,6 +89,7 @@ pub fn run_scenario_ckpt(
     workers: usize,
     os_batch: usize,
     kernel_filter: bool,
+    disk_wake: bool,
     ckpt: CkptMode<'_>,
 ) -> Result<RunOutput, RunError> {
     let mut b = sc.builder();
@@ -115,6 +119,7 @@ pub fn run_scenario_ckpt(
     cfg.backend.workers = workers;
     cfg.kernel_batch_depth = os_batch;
     cfg.kernel_filter = kernel_filter;
+    cfg.disk_wake = disk_wake;
     if observe {
         cfg.obs = ObsConfig::full(TraceLevel::Fine);
         cfg.obs.progress_every = Some(10_000);
@@ -207,7 +212,8 @@ pub fn metamorphic_variants(sc: &Scenario) -> Vec<Scenario> {
 ///
 /// Layers: depth-1 baseline with trace recording → oracle replay →
 /// filter-toggled differential → shard-workers-twin differential →
-/// OS-batch-twin and kernel-filter-twin differentials → depth {4,16,64}
+/// OS-batch-twin, kernel-filter-twin and disk-wake-twin differentials →
+/// depth {4,16,64}
 /// differentials → (timing-independent workloads only) metamorphic knob
 /// variants. The per-step invariant layer runs inside every one of these
 /// when built with `--features check-invariants`.
@@ -225,6 +231,7 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
         sc.workers,
         sc.os_batch,
         sc.kernel_filter,
+        sc.disk_wake,
     ) {
         Ok(out) => out,
         Err(e) => return vec![format!("depth-1 run deadlocked: {e}")],
@@ -256,6 +263,7 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
         sc.workers,
         sc.os_batch,
         sc.kernel_filter,
+        sc.disk_wake,
     ) {
         Ok(run) => {
             for d in diff::diff_backend_stats(&base.report.backend, &run.report.backend) {
@@ -281,6 +289,7 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
         twin_workers,
         sc.os_batch,
         sc.kernel_filter,
+        sc.disk_wake,
     ) {
         Ok(run) => {
             for d in diff::diff_backend_stats(&base.report.backend, &run.report.backend) {
@@ -306,6 +315,7 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
         sc.workers,
         twin_os_batch,
         sc.kernel_filter,
+        sc.disk_wake,
     ) {
         Ok(run) => {
             for d in diff::diff_backend_stats(&base.report.backend, &run.report.backend) {
@@ -329,6 +339,7 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
         sc.workers,
         sc.os_batch,
         !sc.kernel_filter,
+        sc.disk_wake,
     ) {
         Ok(run) => {
             for d in diff::diff_backend_stats(&base.report.backend, &run.report.backend) {
@@ -340,10 +351,36 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
         }
         Err(e) => failures.push(format!("kernel-filter-twin run deadlocked: {e}")),
     }
+    // Disk-wake differential (ISSUE 9): the event-driven disk completion
+    // path toggled the other way must leave every backend statistic
+    // untouched — wake-driven delivery settles the same latencies the
+    // polled drain charged.
+    match run_scenario(
+        sc,
+        1,
+        false,
+        false,
+        sc.filter,
+        sc.workers,
+        sc.os_batch,
+        sc.kernel_filter,
+        !sc.disk_wake,
+    ) {
+        Ok(run) => {
+            for d in diff::diff_backend_stats(&base.report.backend, &run.report.backend) {
+                failures.push(format!(
+                    "disk_wake={} vs disk_wake={}: {d}",
+                    !sc.disk_wake, sc.disk_wake
+                ));
+            }
+        }
+        Err(e) => failures.push(format!("disk-wake-twin run deadlocked: {e}")),
+    }
     // Checkpoint/resume differential (ISSUE 8): record the scenario with
     // `checkpoint_every`, then resume from the latest cut — once under
     // the scenario's own knobs and once under flipped transport knobs
-    // (filter, workers, OS batch, kernel filter, batch depth). All of
+    // (filter, workers, OS batch, kernel filter, disk wake, batch
+    // depth). All of
     // them run under the resume-identity oracle and must reproduce the
     // baseline `BackendStats` bit for bit.
     if sc.ckpt {
@@ -362,6 +399,7 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
             sc.workers,
             sc.os_batch,
             sc.kernel_filter,
+            sc.disk_wake,
             CkptMode::Record {
                 every: 500,
                 path: &path,
@@ -383,6 +421,7 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
                         sc.workers,
                         sc.os_batch,
                         sc.kernel_filter,
+                        sc.disk_wake,
                         CkptMode::Resume { path: &path },
                     ) {
                         Ok(run) => {
@@ -405,6 +444,7 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
                         twin_workers,
                         twin_os_batch,
                         !sc.kernel_filter,
+                        !sc.disk_wake,
                         CkptMode::Resume { path: &path },
                     ) {
                         Ok(run) => {
@@ -435,6 +475,7 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
             sc.workers,
             sc.os_batch,
             sc.kernel_filter,
+            sc.disk_wake,
         ) {
             Ok(out) => out,
             Err(e) => {
@@ -458,6 +499,7 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
                 var.workers,
                 var.os_batch,
                 var.kernel_filter,
+                var.disk_wake,
             ) {
                 Ok(out) => out,
                 Err(e) => {

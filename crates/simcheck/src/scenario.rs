@@ -134,6 +134,12 @@ pub struct Scenario {
     /// (and resumes under flipped transport knobs), and requires
     /// bit-identical `BackendStats` — the resume-identity oracle.
     pub ckpt: bool,
+    /// Event-driven disk path (ISSUE 9). Must be statistics-neutral:
+    /// the check stack diffs every scenario against its toggled twin,
+    /// so this axis proves the daemon's batched interrupt-handler
+    /// protocol (settled-at-drain device queues) bit-exact across the
+    /// whole scenario space.
+    pub disk_wake: bool,
 }
 
 impl Scenario {
@@ -197,6 +203,9 @@ impl Scenario {
         let kernel_filter = rng.gen_bool(0.5);
         // Checkpoint axis (ISSUE 8), drawn last for the same reason.
         let ckpt = rng.gen_bool(0.5);
+        // Disk-wake axis (ISSUE 9), drawn last — house rule: new axes
+        // append to the draw order so historical seeds keep their shape.
+        let disk_wake = rng.gen_bool(0.5);
         Scenario {
             seed,
             workload,
@@ -211,6 +220,7 @@ impl Scenario {
             os_batch,
             kernel_filter,
             ckpt,
+            disk_wake,
         }
     }
 
@@ -388,6 +398,12 @@ impl Scenario {
             if self.ckpt {
                 push(Scenario {
                     ckpt: false,
+                    ..*self
+                });
+            }
+            if self.disk_wake {
+                push(Scenario {
+                    disk_wake: false,
                     ..*self
                 });
             }
@@ -614,6 +630,8 @@ mod tests {
         assert!(scenarios.iter().any(|s| !s.kernel_filter));
         assert!(scenarios.iter().any(|s| s.ckpt));
         assert!(scenarios.iter().any(|s| !s.ckpt));
+        assert!(scenarios.iter().any(|s| s.disk_wake));
+        assert!(scenarios.iter().any(|s| !s.disk_wake));
     }
 
     #[test]

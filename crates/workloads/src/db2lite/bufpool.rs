@@ -139,7 +139,11 @@ impl BufPool {
 
     /// Pins `(table, page)` into the pool, reading it from `fd` on a miss
     /// (and writing back a dirty victim). `base` is the attached segment
-    /// base. Returns the pinned page.
+    /// base. `victim_write` *builds* the write-behind syscall for a dirty
+    /// victim (it must not post events itself): the writeback and the
+    /// miss read are adjacent — no user work separates them — so the pool
+    /// issues the pair as one batched port crossing. Returns the pinned
+    /// page.
     pub fn get_page(
         &self,
         cpu: &mut CpuCtx,
@@ -147,7 +151,7 @@ impl BufPool {
         table: TableId,
         page: u64,
         fd: Fd,
-        victim_write: impl Fn(&mut CpuCtx, TableId, u64, VAddr, &[u8]),
+        victim_write: impl Fn(TableId, u64, VAddr, &[u8]) -> OsCall,
     ) -> PageRef {
         let latch = Self::latch_addr(base);
         loop {
@@ -218,19 +222,30 @@ impl BufPool {
                 }
                 Plan::Load { frame, victim } => {
                     cpu.unlock(latch);
-                    // Dirty victim: write-behind to its file.
-                    if let Some((vt, vp)) = victim {
-                        let snapshot = self.cells[frame].bytes.lock().clone();
-                        victim_write(cpu, vt, vp, Self::frame_addr(base, frame), &snapshot);
-                    }
-                    // Read the new page through the kernel.
                     let addr = Self::frame_addr(base, frame);
-                    let data = match cpu.os_call(OsCall::ReadAt {
+                    let read = OsCall::ReadAt {
                         fd,
                         off: page * PAGE_SIZE as u64,
                         len: PAGE_SIZE,
                         buf: addr,
-                    }) {
+                    };
+                    // Dirty victim: the write-behind and the miss read go
+                    // out as one batched crossing, identical timeline.
+                    let read_result = match victim {
+                        Some((vt, vp)) => {
+                            let snapshot = self.cells[frame].bytes.lock().clone();
+                            let wb = victim_write(vt, vp, addr, &snapshot);
+                            let mut rs = cpu.os_call_batch(vec![wb, read]);
+                            let r = rs.pop().expect("batched read result");
+                            match rs.pop().expect("batched writeback result") {
+                                Ok(_) => {}
+                                other => panic!("victim writeback: {other:?}"),
+                            }
+                            r
+                        }
+                        None => cpu.os_call(read),
+                    };
+                    let data = match read_result {
                         Ok(SysVal::Data(d)) => d,
                         Err(Errno::NoEnt) | Err(Errno::BadF) => {
                             panic!("buffer pool read through bad fd {fd:?}")

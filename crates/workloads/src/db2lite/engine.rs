@@ -144,26 +144,37 @@ impl Db2Session {
     pub fn attach(cpu: &mut CpuCtx, shared: Arc<Db2Shared>) -> Self {
         let seg = cpu.shmget(shared.cfg.shm_key, shared.cfg.segment_len());
         let base = cpu.shmat(seg);
-        let mut fds = HashMap::new();
         let ntables = shared.ntables();
-        for i in 0..ntables {
-            let meta = shared.table(TableId(i as u32));
-            let fd = match cpu.os_call(OsCall::Open {
-                path: meta.path.clone(),
+        // The container opens (and the WAL open) are back-to-back with
+        // no user work between them: one batched port crossing for the
+        // whole run of opens, identical timeline to opening one by one.
+        let metas: Vec<_> = (0..ntables)
+            .map(|i| shared.table(TableId(i as u32)))
+            .collect();
+        let mut calls: Vec<OsCall> = metas
+            .iter()
+            .map(|m| OsCall::Open {
+                path: m.path.clone(),
                 create: false,
-            }) {
+            })
+            .collect();
+        calls.push(OsCall::Open {
+            path: "/db/LOG".into(),
+            create: true,
+        });
+        let mut results = cpu.os_call_batch(calls);
+        let log_fd = match results.pop().expect("batched log open") {
+            Ok(SysVal::NewFd(fd)) => fd,
+            other => panic!("open log: {other:?}"),
+        };
+        let mut fds = HashMap::new();
+        for (meta, r) in metas.iter().zip(results) {
+            let fd = match r {
                 Ok(SysVal::NewFd(fd)) => fd,
                 other => panic!("open {}: {other:?}", meta.path),
             };
             fds.insert(meta.id, fd);
         }
-        let log_fd = match cpu.os_call(OsCall::Open {
-            path: "/db/LOG".into(),
-            create: true,
-        }) {
-            Ok(SysVal::NewFd(fd)) => fd,
-            other => panic!("open log: {other:?}"),
-        };
         Self {
             shared,
             base,
@@ -212,27 +223,19 @@ impl Db2Session {
     pub fn get_page(&self, cpu: &mut CpuCtx, table: TableId, page: u64) -> PageRef {
         let fds = &self.fds;
         let fd = fds[&table];
-        self.shared.pool.get_page(
-            cpu,
-            self.base,
-            table,
-            page,
-            fd,
-            |cpu, vt, vp, addr, bytes| {
+        self.shared
+            .pool
+            .get_page(cpu, self.base, table, page, fd, |vt, vp, addr, bytes| {
                 // Dirty-victim write-behind to the victim's own file; the
-                // kernel's copy loads from the pool frame itself.
-                let vfd = fds[&vt];
-                match cpu.os_call(OsCall::WriteAt {
-                    fd: vfd,
+                // kernel's copy loads from the pool frame itself. The pool
+                // batches this with the miss read (one port crossing).
+                OsCall::WriteAt {
+                    fd: fds[&vt],
                     off: vp * PAGE_SIZE as u64,
                     data: bytes.to_vec(),
                     buf: addr,
-                }) {
-                    Ok(_) => {}
-                    other => panic!("victim writeback: {other:?}"),
                 }
-            },
-        )
+            })
     }
 
     /// Unpins a page.
@@ -340,34 +343,63 @@ impl Db2Session {
     /// Flushes every dirty pool page to its file (checkpoint) and fsyncs
     /// the involved files.
     pub fn checkpoint(&self, cpu: &mut CpuCtx) {
+        // Nothing but host-side snapshots separates the flush writes (and
+        // nothing at all separates the msyncs), so both runs coalesce
+        // into batched port crossings — chunked to bound payload memory,
+        // timeline identical to issuing them one at a time.
+        const WRITE_RUN: usize = 8;
         let dirty = self.shared.pool.dirty_pages();
         let mut touched: Vec<TableId> = Vec::new();
-        for (table, page, frame) in dirty {
-            let bytes = self.shared.pool.snapshot(frame);
-            match cpu.os_call(OsCall::WriteAt {
-                fd: self.fds[&table],
-                off: page * PAGE_SIZE as u64,
-                data: bytes,
-                buf: BufPool::frame_addr(self.base, frame),
-            }) {
-                Ok(_) => {}
-                other => panic!("checkpoint write: {other:?}"),
-            }
-            self.shared.pool.mark_clean(frame);
-            if !touched.contains(&table) {
-                touched.push(table);
+        for run in dirty.chunks(WRITE_RUN) {
+            let calls: Vec<OsCall> = run
+                .iter()
+                .map(|&(table, page, frame)| OsCall::WriteAt {
+                    fd: self.fds[&table],
+                    off: page * PAGE_SIZE as u64,
+                    data: self.shared.pool.snapshot(frame),
+                    buf: BufPool::frame_addr(self.base, frame),
+                })
+                .collect();
+            let results = if calls.len() == 1 {
+                vec![cpu.os_call(calls.into_iter().next().expect("one call"))]
+            } else {
+                cpu.os_call_batch(calls)
+            };
+            for (&(table, _, frame), r) in run.iter().zip(results) {
+                match r {
+                    Ok(_) => {}
+                    other => panic!("checkpoint write: {other:?}"),
+                }
+                self.shared.pool.mark_clean(frame);
+                if !touched.contains(&table) {
+                    touched.push(table);
+                }
             }
         }
-        for table in touched {
-            // msync the whole container — the call the paper's TPC
-            // profiles attribute buffer flushing to.
-            let len = self.shared.table(table).pages() * PAGE_SIZE as u64;
-            cpu.os_call(OsCall::Msync {
-                fd: self.fds[&table],
-                off: 0,
-                len: len.max(PAGE_SIZE as u64),
+        // msync the whole container — the call the paper's TPC profiles
+        // attribute buffer flushing to.
+        let calls: Vec<OsCall> = touched
+            .iter()
+            .map(|&table| {
+                let len = self.shared.table(table).pages() * PAGE_SIZE as u64;
+                OsCall::Msync {
+                    fd: self.fds[&table],
+                    off: 0,
+                    len: len.max(PAGE_SIZE as u64),
+                }
             })
-            .expect("checkpoint msync");
+            .collect();
+        match calls.len() {
+            0 => {}
+            1 => {
+                cpu.os_call(calls.into_iter().next().expect("one call"))
+                    .expect("checkpoint msync");
+            }
+            _ => {
+                for r in cpu.os_call_batch(calls) {
+                    r.expect("checkpoint msync");
+                }
+            }
         }
     }
 }

@@ -16,7 +16,9 @@ pub mod specweb;
 
 pub use player::{PlayerConfig, PlayerObserved, PlayerStats, TracePlayer};
 pub use server::{worker, ServerConfig, SharedTickets};
-pub use specweb::{generate_fileset, generate_trace, FileSetConfig, Trace, TraceEntry};
+pub use specweb::{
+    generate_fileset, generate_trace, FileSetConfig, Trace, TraceEntry, TraceStream,
+};
 
 #[cfg(test)]
 mod tests {

@@ -23,7 +23,7 @@
 //! fresh connection. Every knob is a pure function of simulated state,
 //! so runs stay bit-reproducible.
 
-use super::specweb::Trace;
+use super::specweb::{FileSetConfig, Trace, TraceEntry, TraceStream};
 use compass_backend::TrafficSource;
 use compass_comm::{Frame, FrameKind};
 use compass_isa::{ConnId, Cycles, NicId};
@@ -90,6 +90,11 @@ pub struct PlayerObserved {
     pub connections: u64,
     /// Response bytes observed.
     pub bytes_received: u64,
+    /// Peak concurrently-live sessions. Each live session holds at most
+    /// one keep-alive block of entries, so this bounds the player's
+    /// memory high-water mark regardless of trace length (the streaming
+    /// player's flatness proof).
+    pub peak_live: u64,
     /// Per-completed-request simulated latency, GET to last byte.
     /// Churned first attempts are not counted; their replay is.
     pub latencies: Vec<Cycles>,
@@ -120,9 +125,10 @@ struct Session {
     /// The client slot that owns the session (slow-client selection and
     /// relaunch identity).
     client: u32,
-    /// Trace-entry indices still to play on this connection; the front
-    /// entry is in flight.
-    entries: Vec<usize>,
+    /// Trace entries still to play on this connection; the front entry
+    /// is in flight. Owned by the session (at most a keep-alive block),
+    /// so the player never needs the whole trace at once.
+    entries: Vec<TraceEntry>,
     /// Body bytes the in-flight response will carry.
     expected: u64,
     received: u64,
@@ -135,10 +141,41 @@ struct Session {
     churn: bool,
 }
 
+/// Where the player's entries come from: a materialised trace (the
+/// classic mode every existing caller uses) or a [`TraceStream`] that
+/// draws entries on demand (ISSUE 9's 10k-connection mode — live memory
+/// is the RNG plus the in-flight sessions, flat in the trace length).
+enum EntrySource {
+    Trace { trace: Trace, next: usize },
+    Stream(TraceStream),
+}
+
+impl EntrySource {
+    /// Total entries the source will ever yield.
+    fn total(&self) -> u64 {
+        match self {
+            EntrySource::Trace { trace, .. } => trace.entries.len() as u64,
+            EntrySource::Stream(s) => u64::from(s.total()),
+        }
+    }
+
+    /// Takes the next block of up to `n` entries (empty when exhausted).
+    fn take_block(&mut self, n: usize) -> Vec<TraceEntry> {
+        match self {
+            EntrySource::Trace { trace, next } => {
+                let take = n.min(trace.entries.len() - *next);
+                let block = trace.entries[*next..*next + take].to_vec();
+                *next += take;
+                block
+            }
+            EntrySource::Stream(s) => s.take(n).collect(),
+        }
+    }
+}
+
 /// The trace player.
 pub struct TracePlayer {
-    trace: Trace,
-    next_entry: usize,
+    source: EntrySource,
     cfg: PlayerConfig,
     next_conn: u32,
     /// Request blocks reserved so far (drives the churn schedule).
@@ -160,11 +197,25 @@ impl TracePlayer {
 
     /// Creates a player with the full client model.
     pub fn with_config(trace: Trace, cfg: PlayerConfig) -> Self {
+        Self::from_source(EntrySource::Trace { trace, next: 0 }, cfg)
+    }
+
+    /// Creates a player that draws its trace on demand — identical
+    /// behaviour to [`TracePlayer::with_config`] over
+    /// `generate_trace(fileset, requests, seed)`, without ever holding
+    /// the trace in memory.
+    pub fn streaming(fileset: FileSetConfig, requests: u32, seed: u64, cfg: PlayerConfig) -> Self {
+        Self::from_source(
+            EntrySource::Stream(TraceStream::new(fileset, requests, seed)),
+            cfg,
+        )
+    }
+
+    fn from_source(source: EntrySource, cfg: PlayerConfig) -> Self {
         assert!(cfg.clients > 0);
         assert!(cfg.keep_alive > 0);
         Self {
-            trace,
-            next_entry: 0,
+            source,
             cfg,
             next_conn: 1,
             next_block: 0,
@@ -183,16 +234,17 @@ impl TracePlayer {
 
     /// Total requests in the trace.
     pub fn total_requests(&self) -> usize {
-        self.trace.entries.len()
+        self.source.total() as usize
     }
 
     /// How many connections the server will see accept, counting
     /// keep-alive blocks and churn replays: size the server's ticket
     /// pool with this. Blocks are reserved `keep_alive` entries at a
     /// time from one global cursor, so the count is independent of how
-    /// clients interleave.
+    /// clients interleave — and computable without materialising a
+    /// streamed trace.
     pub fn expected_connections(&self) -> u64 {
-        let e = self.trace.entries.len() as u64;
+        let e = self.source.total();
         let blocks = e.div_ceil(self.cfg.keep_alive as u64);
         let churned = if self.cfg.churn_every > 0 {
             blocks / self.cfg.churn_every as u64
@@ -227,35 +279,35 @@ impl TracePlayer {
     fn open_session(
         &mut self,
         client: u32,
-        entries: Vec<usize>,
+        entries: Vec<TraceEntry>,
         churn: bool,
         at: Cycles,
     ) -> Vec<(Cycles, Frame)> {
         let conn = ConnId(self.next_conn);
         self.next_conn += 1;
-        let first = entries[0];
-        let entry = &self.trace.entries[first];
+        let entry = &entries[0];
         let get = format!("GET {} HTTP/1.0\r\n\r\n", entry.path).into_bytes();
+        // The server sends a ~128-byte header before the body; any
+        // response of at least the body size counts as complete.
+        let expected = entry.size as u64;
         let sent_at = at + self.cfg.connect_gap;
         self.live.insert(
             conn,
             Session {
                 client,
                 entries,
-                // The server sends a ~128-byte header before the body; any
-                // response of at least the body size counts as complete.
-                expected: entry.size as u64,
+                expected,
                 received: 0,
                 unacked: 0,
                 sent_at,
                 churn,
             },
         );
-        self.stats
-            .inner
-            .lock()
-            .expect("player stats poisoned")
-            .connections += 1;
+        {
+            let mut g = self.stats.inner.lock().expect("player stats poisoned");
+            g.connections += 1;
+            g.peak_live = g.peak_live.max(self.live.len() as u64);
+        }
         vec![
             (
                 at,
@@ -282,13 +334,10 @@ impl TracePlayer {
 
     /// Reserves the next request block and opens a connection for it.
     fn launch(&mut self, client: u32, at: Cycles) -> Vec<(Cycles, Frame)> {
-        let left = self.trace.entries.len() - self.next_entry;
-        if left == 0 {
+        let entries = self.source.take_block(self.cfg.keep_alive as usize);
+        if entries.is_empty() {
             return Vec::new();
         }
-        let take = (self.cfg.keep_alive as usize).min(left);
-        let entries: Vec<usize> = (self.next_entry..self.next_entry + take).collect();
-        self.next_entry += take;
         let block = self.next_block;
         self.next_block += 1;
         let churn = self.cfg.churn_every > 0
@@ -385,9 +434,8 @@ impl TrafficSource for TracePlayer {
         let client = s.client;
         let think = Self::think_for(&self.cfg, client);
         s.entries.remove(0);
-        if let Some(&next) = s.entries.first() {
+        if let Some(entry) = s.entries.first() {
             // Keep-alive: next GET on the same connection after thinking.
-            let entry = &self.trace.entries[next];
             let get = format!("GET {} HTTP/1.0\r\n\r\n", entry.path).into_bytes();
             s.expected = entry.size as u64;
             s.received = 0;
@@ -554,6 +602,66 @@ mod tests {
         let b = p.on_tx(slow, 2 * 1460, 1_000_000);
         assert_eq!(a[0].0, 1_008_000);
         assert_eq!(b[0].0, 1_080_000);
+    }
+
+    #[test]
+    fn streaming_player_is_frame_identical_to_materialised() {
+        use crate::httplite::specweb::{generate_trace, FileSetConfig};
+        let fileset = FileSetConfig { dirs: 2 };
+        let (requests, seed) = (60u32, 11u64);
+        let cfg = PlayerConfig {
+            keep_alive: 4,
+            churn_every: 3,
+            slow_every: 2,
+            slow_factor: 5,
+            ..PlayerConfig::http10(3, 80)
+        };
+        let mut mat = TracePlayer::with_config(generate_trace(fileset, requests, seed), cfg);
+        let mut stream = TracePlayer::streaming(fileset, requests, seed, cfg);
+        assert_eq!(mat.expected_connections(), stream.expected_connections());
+        assert_eq!(mat.total_requests(), stream.total_requests());
+
+        // Drive both players with the identical response schedule: every
+        // live connection receives a full response each round. The frame
+        // streams must match exactly.
+        let (a, b) = (mat.initial(), stream.initial());
+        assert_eq!(a, b);
+        let mut pending: Vec<ConnId> = a
+            .iter()
+            .filter(|(_, f)| matches!(f.kind, FrameKind::Syn))
+            .map(|(_, f)| f.conn)
+            .collect();
+        let mut now = 1_000_000;
+        while !pending.is_empty() {
+            let mut next = Vec::new();
+            for conn in pending {
+                let (fa, fb) = (
+                    mat.on_tx(conn, 1 << 20, now),
+                    stream.on_tx(conn, 1 << 20, now),
+                );
+                assert_eq!(fa, fb, "frames diverged on {conn:?} at {now}");
+                next.extend(
+                    fa.iter()
+                        .filter(|(_, f)| !matches!(f.kind, FrameKind::Fin))
+                        .map(|(_, f)| f.conn),
+                );
+                now += 500_000;
+            }
+            pending = next;
+            pending.sort_by_key(|c| c.0);
+            pending.dedup();
+        }
+        assert_eq!(mat.completed, requests as u64);
+        assert_eq!(stream.completed, requests as u64);
+        let (oa, ob) = (mat.stats().observed(), stream.stats().observed());
+        assert_eq!(oa, ob);
+        // Flat memory: the high-water mark is bounded by the client
+        // count, not the trace length.
+        assert!(
+            ob.peak_live <= u64::from(cfg.clients) + 1,
+            "{}",
+            ob.peak_live
+        );
     }
 
     #[test]

@@ -114,13 +114,27 @@ pub fn worker(cfg: ServerConfig, tickets: Arc<SharedTickets>) -> impl FnMut(&mut
             // One request per iteration; keep-alive connections loop
             // until the client closes (empty read = EOF).
             let mut conn_closed = false;
+            // A served file's close is deferred so it can ride the next
+            // request's recv in one batched port crossing (keep-alive
+            // only; no user work separates the two syscalls).
+            let mut pending_file_close: Option<compass_os::Fd> = None;
             loop {
                 // Read the request line.
-                let request = match cpu.os_call(OsCall::Recv {
+                let recv = OsCall::Recv {
                     fd,
                     len: cfg.chunk,
                     buf,
-                }) {
+                };
+                let recv_result = match pending_file_close.take() {
+                    Some(ffd) => {
+                        let mut rs = cpu.os_call_batch(vec![OsCall::Close { fd: ffd }, recv]);
+                        let r = rs.pop().expect("batched recv result");
+                        let _ = rs.pop().expect("batched close result");
+                        r
+                    }
+                    None => cpu.os_call(recv),
+                };
+                let request = match recv_result {
                     Ok(SysVal::Data(d)) => d,
                     other => panic!("recv: {other:?}"),
                 };
@@ -139,7 +153,20 @@ pub fn worker(cfg: ServerConfig, tickets: Arc<SharedTickets>) -> impl FnMut(&mut
 
                 match path {
                     Some(path) => {
-                        let len = match cpu.os_call(OsCall::Stat { path: path.clone() }) {
+                        // stat + open name the same path back to back (no
+                        // user work between): one batched port crossing.
+                        // On the 404 path — dynamically dead for paths a
+                        // generated fileset serves — the batched open
+                        // fails NoEnt harmlessly alongside the stat.
+                        let mut rs = cpu.os_call_batch(vec![
+                            OsCall::Stat { path: path.clone() },
+                            OsCall::Open {
+                                path,
+                                create: false,
+                            },
+                        ]);
+                        let open_result = rs.pop().expect("batched open result");
+                        let len = match rs.pop().expect("batched stat result") {
                             Ok(SysVal::Stat(st)) => st.len,
                             Err(Errno::NoEnt) => {
                                 send_all(cpu, fd, 64, buf); // 404
@@ -152,22 +179,43 @@ pub fn worker(cfg: ServerConfig, tickets: Arc<SharedTickets>) -> impl FnMut(&mut
                             }
                             other => panic!("stat: {other:?}"),
                         };
-                        let ffd = expect_fd(cpu.os_call(OsCall::Open {
-                            path,
-                            create: false,
-                        }));
-                        // Header formatting, then the body in chunks.
+                        let ffd = expect_fd(open_result);
+                        // Header formatting, then the body in chunks. The
+                        // header send and the first body read are also
+                        // adjacent — batch them unless the file is empty.
                         cpu.compute(1_800);
-                        send_all(cpu, fd, 128, buf);
                         let mut off = 0u64;
+                        let mut pending_read = None;
+                        if len > 0 {
+                            let mut rs = cpu.os_call_batch(vec![
+                                OsCall::Send { fd, len: 128, buf },
+                                OsCall::ReadAt {
+                                    fd: ffd,
+                                    off: 0,
+                                    len: (cfg.chunk as u64).min(len) as u32,
+                                    buf,
+                                },
+                            ]);
+                            pending_read = rs.pop();
+                            match rs.pop().expect("batched send result") {
+                                Ok(SysVal::Int(_)) | Err(Errno::ConnClosed) => {}
+                                other => panic!("send: {other:?}"),
+                            }
+                        } else {
+                            send_all(cpu, fd, 128, buf);
+                        }
                         while off < len {
                             let n = (cfg.chunk as u64).min(len - off) as u32;
-                            match cpu.os_call(OsCall::ReadAt {
-                                fd: ffd,
-                                off,
-                                len: n,
-                                buf,
-                            }) {
+                            let r = match pending_read.take() {
+                                Some(r) => r,
+                                None => cpu.os_call(OsCall::ReadAt {
+                                    fd: ffd,
+                                    off,
+                                    len: n,
+                                    buf,
+                                }),
+                            };
+                            match r {
                                 Ok(SysVal::Data(d)) if !d.is_empty() => {
                                     cpu.compute(700); // buffer management per chunk
                                     send_all(cpu, fd, d.len() as u32, buf);
@@ -178,7 +226,10 @@ pub fn worker(cfg: ServerConfig, tickets: Arc<SharedTickets>) -> impl FnMut(&mut
                             }
                         }
                         if cfg.keep_alive {
-                            let _ = cpu.os_call(OsCall::Close { fd: ffd });
+                            // Deferred: rides the next recv (or, at end
+                            // of the request block, closes before the
+                            // empty read returns).
+                            pending_file_close = Some(ffd);
                         } else {
                             // The file close and the connection close are
                             // adjacent (no user work between them): one

@@ -104,21 +104,67 @@ fn pick_weighted(rng: &mut StdRng, weights: &[u32]) -> u32 {
     unreachable!("weights sum covered the range")
 }
 
+/// Draws one trace entry: directory, class by the 35/50/14/1 mix, file
+/// by the centre-weighted in-class distribution.
+fn draw_entry(rng: &mut StdRng, cfg: FileSetConfig) -> TraceEntry {
+    let dir = rng.gen_range(0..cfg.dirs);
+    let class = pick_weighted(rng, &CLASS_MIX);
+    let idx = pick_weighted(rng, &FILE_WEIGHTS);
+    TraceEntry {
+        path: path_of(dir, class, idx),
+        size: size_of(class, idx),
+    }
+}
+
+/// A streaming trace generator (ISSUE 9): yields exactly the entries
+/// [`generate_trace`] would produce for the same `(cfg, requests, seed)`,
+/// one at a time, without materialising the trace. Live state is the RNG
+/// plus two counters, so a ten-million-request trace costs the same
+/// memory as a ten-request one.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    rng: StdRng,
+    cfg: FileSetConfig,
+    total: u32,
+    drawn: u32,
+}
+
+impl TraceStream {
+    /// A stream of `requests` entries over `cfg`'s file set, seeded like
+    /// [`generate_trace`].
+    pub fn new(cfg: FileSetConfig, requests: u32, seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            cfg,
+            total: requests,
+            drawn: 0,
+        }
+    }
+
+    /// Total entries the stream will yield (drawn or not).
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = TraceEntry;
+
+    fn next(&mut self) -> Option<TraceEntry> {
+        if self.drawn == self.total {
+            return None;
+        }
+        self.drawn += 1;
+        Some(draw_entry(&mut self.rng, self.cfg))
+    }
+}
+
 /// Generates a request trace over the file set (the paper's intermediate
 /// trace file), deterministically from `seed`.
 pub fn generate_trace(cfg: FileSetConfig, requests: u32, seed: u64) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut entries = Vec::with_capacity(requests as usize);
-    for _ in 0..requests {
-        let dir = rng.gen_range(0..cfg.dirs);
-        let class = pick_weighted(&mut rng, &CLASS_MIX);
-        let idx = pick_weighted(&mut rng, &FILE_WEIGHTS);
-        entries.push(TraceEntry {
-            path: path_of(dir, class, idx),
-            size: size_of(class, idx),
-        });
+    Trace {
+        entries: TraceStream::new(cfg, requests, seed).collect(),
     }
-    Trace { entries }
 }
 
 #[cfg(test)]
@@ -160,6 +206,16 @@ mod tests {
         assert!((pct(counts[1]) - 50.0).abs() < 5.0, "class1 {counts:?}");
         assert!((pct(counts[2]) - 14.0).abs() < 4.0, "class2 {counts:?}");
         assert!(pct(counts[3]) < 3.0, "class3 {counts:?}");
+    }
+
+    #[test]
+    fn stream_yields_exactly_the_materialised_trace() {
+        let cfg = FileSetConfig { dirs: 3 };
+        let t = generate_trace(cfg, 1_000, 99);
+        let s = TraceStream::new(cfg, 1_000, 99);
+        assert_eq!(s.total(), 1_000);
+        let streamed: Vec<TraceEntry> = s.collect();
+        assert_eq!(streamed, t.entries);
     }
 
     #[test]

@@ -3,10 +3,11 @@
 //! connections) against the keep-alive pre-fork server, with the request
 //! mix and the headline `BackendStats` quantities pinned to literals.
 //! The same anchor is then replayed across the kernel-path knobs —
-//! OS-port batch depth, kernel reference filtering, shard workers — all
-//! of which are pure transport optimisations and must reproduce every
-//! pinned value bit for bit. Intentional timing-model changes re-pin the
-//! literals (the failure message prints the fresh values).
+//! OS-port batch depth, kernel reference filtering, the event-driven
+//! disk path, shard workers — all of which are pure transport
+//! optimisations and must reproduce every pinned value bit for bit.
+//! Intentional timing-model changes re-pin the literals (the failure
+//! message prints the fresh values).
 
 use compass::{ArchConfig, RunReport, SimBuilder};
 use compass_workloads::httplite::{
@@ -32,6 +33,7 @@ fn run_http_sized(
     workers: usize,
     kernel_batch_depth: usize,
     kernel_filter: bool,
+    disk_wake: bool,
 ) -> Anchor {
     let fileset = FileSetConfig { dirs: 2 };
     let trace = generate_trace(fileset, requests, 0x5EC);
@@ -64,6 +66,7 @@ fn run_http_sized(
     c.backend.workers = workers;
     c.kernel_batch_depth = kernel_batch_depth;
     c.kernel_filter = kernel_filter;
+    c.disk_wake = disk_wake;
     let report = b.run();
     Anchor {
         report,
@@ -73,13 +76,19 @@ fn run_http_sized(
     }
 }
 
-fn run_http(workers: usize, kernel_batch_depth: usize, kernel_filter: bool) -> Anchor {
+fn run_http(
+    workers: usize,
+    kernel_batch_depth: usize,
+    kernel_filter: bool,
+    disk_wake: bool,
+) -> Anchor {
     run_http_sized(
         REQUESTS,
         CLIENTS,
         workers,
         kernel_batch_depth,
         kernel_filter,
+        disk_wake,
     )
 }
 
@@ -95,8 +104,9 @@ fn run_http(workers: usize, kernel_batch_depth: usize, kernel_filter: bool) -> A
 )]
 #[test]
 fn fixed_seed_httplite_results_are_pinned() {
-    // The baseline uses the default kernel path (depth 8, unfiltered).
-    let base = run_http(1, 8, false);
+    // The baseline uses the default kernel path (depth 8, unfiltered,
+    // event-driven disk wakes on).
+    let base = run_http(1, 8, false, true);
 
     // Request mix: every trace entry served exactly once, the churn
     // schedule a pure function of the block ids, the connection count
@@ -128,7 +138,7 @@ fn fixed_seed_httplite_results_are_pinned() {
     assert_eq!(base.p99, 98_716_836, "p99 request latency moved");
 
     // Bit-stability across an identical rerun.
-    let again = run_http(1, 8, false);
+    let again = run_http(1, 8, false, true);
     assert_eq!(
         format!("{:#?}", base.report.backend),
         format!("{:#?}", again.report.backend),
@@ -137,31 +147,34 @@ fn fixed_seed_httplite_results_are_pinned() {
     assert_eq!(seen, &again.seen, "player observations not bit-stable");
 
     // Kernel-path knob twins: OS-port batch depth × kernel filtering ×
-    // shard workers are pure transport optimisations — every combination
-    // must replay to the very same anchor.
-    for (workers, kb, kf) in [
-        (1, 1, false),
-        (1, 64, false),
-        (1, 1, true),
-        (1, 64, true),
-        (4, 64, true),
+    // the event-driven disk path × shard workers are pure transport
+    // optimisations — every combination must replay to the very same
+    // anchor.
+    for (workers, kb, kf, dw) in [
+        (1, 1, false, false),
+        (1, 64, false, true),
+        (1, 1, true, true),
+        (1, 64, true, false),
+        (1, 8, false, false),
+        (4, 64, true, true),
     ] {
-        let twin = run_http(workers, kb, kf);
+        let twin = run_http(workers, kb, kf, dw);
         assert_eq!(
             format!("{:#?}", base.report.backend),
             format!("{:#?}", twin.report.backend),
-            "BackendStats moved at workers={workers} kernel_batch_depth={kb} kernel_filter={kf}"
+            "BackendStats moved at workers={workers} kernel_batch_depth={kb} \
+             kernel_filter={kf} disk_wake={dw}"
         );
         assert_eq!(
             seen, &twin.seen,
             "player observations moved at workers={workers} \
-             kernel_batch_depth={kb} kernel_filter={kf}"
+             kernel_batch_depth={kb} kernel_filter={kf} disk_wake={dw}"
         );
         assert_eq!(
             (base.p50, base.p99),
             (twin.p50, twin.p99),
             "latency quantiles moved at workers={workers} \
-             kernel_batch_depth={kb} kernel_filter={kf}"
+             kernel_batch_depth={kb} kernel_filter={kf} disk_wake={dw}"
         );
     }
 }
@@ -174,30 +187,36 @@ fn fixed_seed_httplite_results_are_pinned() {
 fn audited_kernel_knob_twins_stay_bit_identical() {
     const SMALL_REQS: u32 = 8;
     const SMALL_CLIENTS: u32 = 2;
-    let base = run_http_sized(SMALL_REQS, SMALL_CLIENTS, 1, 8, false);
+    let base = run_http_sized(SMALL_REQS, SMALL_CLIENTS, 1, 8, false, true);
     assert_eq!(
         base.seen.completed,
         u64::from(SMALL_REQS),
         "a request was lost: {:?}",
         base.seen
     );
-    for (workers, kb, kf) in [(1, 1, false), (1, 64, true), (4, 8, true)] {
-        let twin = run_http_sized(SMALL_REQS, SMALL_CLIENTS, workers, kb, kf);
+    for (workers, kb, kf, dw) in [
+        (1, 1, false, false),
+        (1, 64, true, true),
+        (1, 8, false, false),
+        (4, 8, true, true),
+    ] {
+        let twin = run_http_sized(SMALL_REQS, SMALL_CLIENTS, workers, kb, kf, dw);
         assert_eq!(
             format!("{:#?}", base.report.backend),
             format!("{:#?}", twin.report.backend),
-            "BackendStats moved at workers={workers} kernel_batch_depth={kb} kernel_filter={kf}"
+            "BackendStats moved at workers={workers} kernel_batch_depth={kb} \
+             kernel_filter={kf} disk_wake={dw}"
         );
         assert_eq!(
             &base.seen, &twin.seen,
             "player observations moved at workers={workers} \
-             kernel_batch_depth={kb} kernel_filter={kf}"
+             kernel_batch_depth={kb} kernel_filter={kf} disk_wake={dw}"
         );
         assert_eq!(
             (base.p50, base.p99),
             (twin.p50, twin.p99),
             "latency quantiles moved at workers={workers} \
-             kernel_batch_depth={kb} kernel_filter={kf}"
+             kernel_batch_depth={kb} kernel_filter={kf} disk_wake={dw}"
         );
     }
 }
