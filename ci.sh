@@ -11,17 +11,14 @@ cargo run --release -q -p compass-simcheck -- --soak 30
 # report_obs self-validates its artifacts (counters, JSONL + Chrome trace,
 # BENCH_obs.json) and exits nonzero on any malformed or silent output.
 cargo run --release -q -p compass-bench --bin report_obs -- target/obs-smoke >/dev/null
-# Filter smoke: the reference filter must not change a single printed
-# statistic of the quickstart (simulated cycles, events, per-category
-# attribution, syscall table).
-cargo run --release -q --example quickstart >target/quickstart-base.out
-COMPASS_FILTER=1 cargo run --release -q --example quickstart >target/quickstart-filter.out
-diff -u target/quickstart-base.out target/quickstart-filter.out
-# Shard smoke: the node-partitioned parallel backend must not change a
-# single printed statistic either — workers=4 diffs clean against the
-# single-threaded engine.
-COMPASS_WORKERS=4 cargo run --release -q --example quickstart >target/quickstart-shard.out
-diff -u target/quickstart-base.out target/quickstart-shard.out
+# Fleet smoke: the design-space runner sweeps every knob family across
+# four workloads (frontend depth/filter, shard workers, OS-port batch,
+# kernel filter, disk wake, checkpoint record/resume), dedupes shared
+# baselines, re-runs a sampled subset at the transport baseline and
+# requires bit-identical BackendStats, and gates on zero neutrality
+# violations in the per-axis sensitivity deltas. This subsumes the old
+# quickstart filter/shard diffs and the report_ckpt smoke.
+cargo run --release -q -p compass-fleet -- --smoke --out target/BENCH_fleet_smoke.json
 # OS-server-wall smoke: httplite BackendStats must be bit-identical
 # across OS-port batching, kernel filtering, the disk-wake path and
 # shard workers (exits nonzero on any divergence), and the measured
@@ -31,10 +28,6 @@ diff -u target/quickstart-base.out target/quickstart-shard.out
 # kernel-path speedup artifact.
 cargo run --release -q -p compass-bench --bin report_http -- --smoke
 cargo run --release -q -p compass-bench --bin report_http -- --short >target/BENCH_http_short.json
-# Checkpoint smoke: fast-forward + checkpoint + resume on TPC-C; the
-# binary hard-gates on the resumed BackendStats being bit-identical to
-# the recording run and exits nonzero otherwise.
-cargo run --release -q -p compass-bench --bin report_ckpt -- --smoke >target/BENCH_ckpt_smoke.json
 # Clippy over both feature combinations: default and with the per-step
 # invariant layer (which adds the mirror/epoch and shard assertions).
 cargo clippy --all-targets --workspace -- -D warnings

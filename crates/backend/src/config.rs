@@ -84,6 +84,22 @@ pub struct BackendConfig {
 }
 
 impl BackendConfig {
+    /// Deterministic hash of the simulated configuration — the
+    /// architecture hash ([`compass_arch::Hierarchy::config_hash`], also
+    /// stored in checkpoint headers) folded with every backend knob that
+    /// shapes the simulation, including the stats-neutral transport knobs
+    /// (`batch_depth`, `workers`): two configurations that differ only in
+    /// transport are still distinct *runs* even though their statistics
+    /// are identical, and the fleet runner dedupes on exactly this hash.
+    /// `deadlock_ms` is excluded: the host watchdog is not part of the
+    /// simulated configuration.
+    pub fn config_hash(&self) -> u64 {
+        let mut norm = self.clone();
+        norm.deadlock_ms = 0;
+        let arch = compass_arch::Hierarchy::config_hash(&self.arch);
+        compass_snap::fnv1a64(format!("{arch:016x}|{norm:?}").as_bytes())
+    }
+
     /// A reasonable default around a given architecture.
     pub fn new(arch: ArchConfig) -> Self {
         BackendConfig {
@@ -145,6 +161,31 @@ impl BackendConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn config_hash_tracks_every_simulated_knob_but_not_the_watchdog() {
+        let base = BackendConfig::new(ArchConfig::ccnuma(2, 2));
+        assert_eq!(base.config_hash(), base.clone().config_hash());
+
+        let mut c = base.clone();
+        c.deadlock_ms += 1;
+        assert_eq!(base.config_hash(), c.config_hash(), "watchdog leaked in");
+
+        let mut arch = base.clone();
+        arch.arch = ArchConfig::simple_smp(4);
+        let mut sched = base.clone();
+        sched.sched = SchedPolicy::Affinity;
+        let mut batch = base.clone();
+        batch.batch_depth += 1;
+        let mut workers = base.clone();
+        workers.workers = 4;
+        let hashes = [&base, &arch, &sched, &batch, &workers].map(|c| c.config_hash());
+        for i in 0..hashes.len() {
+            for j in i + 1..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "configs {i} and {j} collide");
+            }
+        }
+    }
 
     #[test]
     fn default_config_validates() {

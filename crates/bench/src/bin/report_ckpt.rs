@@ -21,6 +21,11 @@
 //! when the host has a single hardware thread the speedup is still
 //! meaningful (fast-forward removes *work*, not just parallelism), but
 //! `host_cpus` is recorded so readers can judge the absolute numbers.
+//!
+//! The record/resume identity cycle is also exercised by `compass-fleet
+//! --preset ckpt` and by every `--smoke` run (the fleet CI gate that
+//! replaced the old `report_ckpt --smoke` invocation); this binary
+//! remains the measured end-to-end recipe.
 
 use compass::runner::RunReport;
 use compass::{ArchConfig, CheckpointData, CpuCtx, SimBuilder};

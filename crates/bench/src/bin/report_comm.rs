@@ -8,6 +8,10 @@
 //! consumer thread mirrors the engine's credit accounting: it banks the
 //! latency of every non-blocking event and folds the bank into the next
 //! blocking reply.
+//!
+//! The equivalent config sweep now also runs as `compass-fleet --preset
+//! comm` (with dedupe, sensitivity deltas, and the twin oracle); this
+//! binary remains the wall-clock throughput record.
 
 use compass_comm::{CtlOp, Event, EventBody, EventPort, Notifier, Reply};
 use compass_isa::ProcessId;

@@ -9,6 +9,10 @@
 //! OS-call dominated, the filter's worst case). The filter must buy
 //! throughput without changing a single statistic; the simcheck suite
 //! proves the latter, this report records the former.
+//!
+//! The equivalent config sweep now also runs as `compass-fleet --preset
+//! filter` (with dedupe, sensitivity deltas, and the twin oracle); this
+//! binary remains the wall-clock throughput record.
 
 use compass::runner::RunReport;
 use compass::{ArchConfig, SimBuilder};

@@ -10,6 +10,10 @@
 //! ISSUE names. Sharding must buy host throughput without moving a
 //! single statistic; the shard test battery and simcheck's workers-twin
 //! differential prove the latter, this report records the former.
+//!
+//! The equivalent config sweep now also runs as `compass-fleet --preset
+//! shard` (with dedupe, sensitivity deltas, and the twin oracle); this
+//! binary remains the wall-clock throughput record.
 
 use compass::runner::RunReport;
 use compass::{ArchConfig, CpuCtx, SimBuilder};

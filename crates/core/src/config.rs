@@ -79,6 +79,31 @@ impl SimConfig {
         }
     }
 
+    /// Canonical hash of the whole simulated configuration: the backend
+    /// hash ([`compass_backend::BackendConfig::config_hash`], which folds
+    /// [`compass_arch::Hierarchy::config_hash`] with every engine knob)
+    /// plus the kernel cost model, instruction timing, and the
+    /// frontend/OS transport knobs. Observability is excluded — it is
+    /// observation-only by construction and proven stats-neutral by
+    /// simcheck, so two runs differing only in `obs` are the same
+    /// configuration. The fleet runner dedupes lattice points on this.
+    pub fn config_hash(&self) -> u64 {
+        let transport = (
+            &self.kernel,
+            &self.timing,
+            self.os_threads,
+            self.pseudo_irq,
+            self.sample_period,
+            self.filter,
+            self.kernel_batch_depth,
+            self.kernel_filter,
+            self.disk_wake,
+        );
+        compass_snap::fnv1a64(
+            format!("{:016x}|{transport:?}", self.backend.config_hash()).as_bytes(),
+        )
+    }
+
     /// Sets the backend worker-thread count (see
     /// `BackendConfig::workers`): 1 is the classic single-threaded
     /// engine; N > 1 shards node-private memory accesses across N - 1
@@ -130,6 +155,25 @@ impl SimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn config_hash_ignores_observability_but_not_transport() {
+        let base = SimConfig::new(ArchConfig::ccnuma(2, 2));
+        let mut obs = SimConfig::new(ArchConfig::ccnuma(2, 2));
+        obs.obs.counters = true;
+        assert_eq!(base.config_hash(), obs.config_hash());
+
+        let mut filter = SimConfig::new(ArchConfig::ccnuma(2, 2));
+        filter.filter = true;
+        assert_ne!(base.config_hash(), filter.config_hash());
+
+        let mut kbatch = SimConfig::new(ArchConfig::ccnuma(2, 2));
+        kbatch.kernel_batch_depth = 1;
+        assert_ne!(base.config_hash(), kbatch.config_hash());
+
+        let arch = SimConfig::new(ArchConfig::simple_smp(4));
+        assert_ne!(base.config_hash(), arch.config_hash());
+    }
 
     #[test]
     fn defaults_are_consistent() {

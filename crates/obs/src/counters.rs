@@ -178,6 +178,48 @@ impl Ctr {
         Ctr::KernelMirrorRefreshes,
     ];
 
+    /// True for counters that measure the *host* transport mechanics
+    /// (posts, replies, parks, doorbells, occupancy, wall-clock ns,
+    /// mirror-filter hits) rather than the simulated machine. Two runs
+    /// of the same configuration produce bit-identical simulated
+    /// counters, but the host set races: mirror filtering depends on
+    /// the backend-epoch-vs-frontend interleaving (a ref filtered in
+    /// one run posts in another, shifting every post/reply/pop count
+    /// downstream), and parks/stalls/ns are wall-clock by definition —
+    /// even though `BackendStats` stays bit-identical throughout.
+    /// Report generators (the fleet runner's aggregate JSON) segregate
+    /// these so reports stay byte-comparable modulo the host.
+    pub fn host_timing(self) -> bool {
+        // Inverted match: the *simulated-machine* counters — event,
+        // syscall, fault, dispatch, and device-wake counts driven
+        // purely by simulated time — are the reproducible set.
+        !matches!(
+            self,
+            Ctr::EventsMemRef
+                | Ctr::EventsSync
+                | Ctr::EventsDev
+                | Ctr::EventsCtl
+                | Ctr::SchedDispatches
+                | Ctr::SchedPreemptions
+                | Ctr::PageFaults
+                | Ctr::TlbMisses
+                | Ctr::DsmTransfers
+                | Ctr::TimerTicks
+                | Ctr::IrqDispatches
+                | Ctr::OsCalls
+                | Ctr::OsPseudoIrqs
+                | Ctr::DeviceWakeEvents
+                | Ctr::DevicePollsEliminated
+                | Ctr::DiskWakeEvents
+                | Ctr::DiskPollsEliminated
+        )
+    }
+
+    /// Reverse of [`Ctr::name`].
+    pub fn by_name(name: &str) -> Option<Ctr> {
+        Ctr::ALL.iter().copied().find(|c| c.name() == name)
+    }
+
     /// Stable snake_case name used in reports and JSON exports.
     pub fn name(self) -> &'static str {
         match self {
@@ -332,6 +374,24 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), CTR_COUNT, "duplicate counter name");
+    }
+
+    #[test]
+    fn names_round_trip_and_classify() {
+        for c in Ctr::ALL {
+            assert_eq!(Ctr::by_name(c.name()), Some(c), "{c:?}");
+        }
+        assert_eq!(Ctr::by_name("no_such_counter"), None);
+        // Wall-clock measurements, ring traffic, and mirror-filter hits
+        // are host timing; simulated event/syscall/device counts are
+        // reproducible.
+        assert!(Ctr::FrontendGenNs.host_timing());
+        assert!(Ctr::RingNotifies.host_timing());
+        assert!(Ctr::RefsFiltered.host_timing());
+        assert!(Ctr::Replies.host_timing());
+        assert!(!Ctr::EventsMemRef.host_timing());
+        assert!(!Ctr::OsCalls.host_timing());
+        assert!(!Ctr::DiskWakeEvents.host_timing());
     }
 
     #[test]

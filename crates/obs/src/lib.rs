@@ -61,4 +61,59 @@ impl ObsReport {
             .copied()
             .collect()
     }
+
+    /// Folds another run's report into this one, summing counters by
+    /// name. The catalogue is append-only and every report carries it in
+    /// catalogue order (zeros included), so two reports from the same
+    /// build zip positionally; counters only one side knows (an empty
+    /// `Default` accumulator, or reports from builds that disagree on the
+    /// catalogue tail) are appended rather than dropped. The fleet runner
+    /// uses this to aggregate observability across a whole sweep.
+    pub fn merge(&mut self, other: &ObsReport) {
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, acc)) => *acc += v,
+                None => self.counters.push((name, *v)),
+            }
+        }
+        self.trace_records += other.trace_records;
+        self.trace_dropped += other.trace_dropped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_by_name_and_keeps_unknown_counters() {
+        let mut a = ObsReport {
+            counters: vec![("events", 10), ("os_calls", 0)],
+            trace_records: 5,
+            trace_dropped: 1,
+        };
+        let b = ObsReport {
+            counters: vec![("events", 32), ("os_calls", 7), ("barriers", 2)],
+            trace_records: 3,
+            trace_dropped: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.counter("events"), 42);
+        assert_eq!(a.counter("os_calls"), 7);
+        assert_eq!(a.counter("barriers"), 2);
+        assert_eq!(a.trace_records, 8);
+        assert_eq!(a.trace_dropped, 1);
+    }
+
+    #[test]
+    fn merge_into_empty_is_a_copy() {
+        let mut acc = ObsReport::default();
+        let b = ObsReport {
+            counters: vec![("events", 3)],
+            ..Default::default()
+        };
+        acc.merge(&b);
+        acc.merge(&b);
+        assert_eq!(acc.counter("events"), 6);
+    }
 }

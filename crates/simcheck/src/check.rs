@@ -78,6 +78,32 @@ pub enum CkptMode<'a> {
     },
 }
 
+/// Applies a scenario's backend/transport knobs (scheduler, placement,
+/// pre-emption, filter, shard workers, OS batch, kernel filter, disk
+/// wake) plus the frontend batch `depth` onto a `SimConfig`. Shared with
+/// the fleet runner (`compass-fleet`), whose lattice points carry their
+/// knob values in the scenario itself — one definition of "how a
+/// scenario configures a run" for both harnesses.
+pub fn apply_scenario_knobs(cfg: &mut compass::SimConfig, sc: &Scenario, depth: usize) {
+    cfg.backend.sched = sc.sched;
+    cfg.backend.placement = sc.placement;
+    cfg.backend.batch_depth = depth;
+    cfg.backend.deadlock_ms = 30_000;
+    if sc.preempt {
+        cfg.backend.preempt_interval = Some(400_000);
+        cfg.backend.timer_interval = Some(400_000);
+    } else {
+        // Keep the interval timer ticking in every scenario so the IRQ
+        // path stays under test even without pre-emption.
+        cfg.backend.timer_interval = Some(900_000);
+    }
+    cfg.filter = sc.filter;
+    cfg.backend.workers = sc.workers;
+    cfg.kernel_batch_depth = sc.os_batch;
+    cfg.kernel_filter = sc.kernel_filter;
+    cfg.disk_wake = sc.disk_wake;
+}
+
 /// [`run_scenario`] with a checkpoint mode.
 #[allow(clippy::too_many_arguments)]
 pub fn run_scenario_ckpt(
@@ -102,24 +128,18 @@ pub fn run_scenario_ckpt(
         CkptMode::Record { every, path } => b = b.checkpoint_every(every, path),
         CkptMode::Resume { path } => b = b.resume(path),
     }
+    // The caller's overrides (a twin flips exactly one knob) are folded
+    // into a scenario view so knob application has a single definition.
+    let knobs = Scenario {
+        filter,
+        workers,
+        os_batch,
+        kernel_filter,
+        disk_wake,
+        ..*sc
+    };
     let cfg = b.config_mut();
-    cfg.backend.sched = sc.sched;
-    cfg.backend.placement = sc.placement;
-    cfg.backend.batch_depth = depth;
-    cfg.backend.deadlock_ms = 30_000;
-    if sc.preempt {
-        cfg.backend.preempt_interval = Some(400_000);
-        cfg.backend.timer_interval = Some(400_000);
-    } else {
-        // Keep the interval timer ticking in every scenario so the IRQ
-        // path stays under test even without pre-emption.
-        cfg.backend.timer_interval = Some(900_000);
-    }
-    cfg.filter = filter;
-    cfg.backend.workers = workers;
-    cfg.kernel_batch_depth = os_batch;
-    cfg.kernel_filter = kernel_filter;
-    cfg.disk_wake = disk_wake;
+    apply_scenario_knobs(cfg, &knobs, depth);
     if observe {
         cfg.obs = ObsConfig::full(TraceLevel::Fine);
         cfg.obs.progress_every = Some(10_000);
@@ -218,11 +238,23 @@ pub fn metamorphic_variants(sc: &Scenario) -> Vec<Scenario> {
 /// variants. The per-step invariant layer runs inside every one of these
 /// when built with `--features check-invariants`.
 pub fn check_scenario(sc: &Scenario) -> Vec<String> {
+    check_scenario_with_soak_ckpt(sc, None)
+}
+
+/// [`check_scenario`], optionally cutting checkpoints of the baseline
+/// run into `soak_ckpt` (every 500 serviced events) so a killed soak can
+/// continue the in-flight seed from its last cut — see
+/// [`crate::soak`].
+pub fn check_scenario_with_soak_ckpt(sc: &Scenario, soak_ckpt: Option<&Path>) -> Vec<String> {
     let mut failures = Vec::new();
     // The baseline runs with the full observability stack on; every other
     // run leaves it off, so the depth differentials below also prove that
     // instrumentation does not change a single statistic.
-    let base = match run_scenario(
+    let base_ckpt = match soak_ckpt {
+        Some(path) => CkptMode::Record { every: 500, path },
+        None => CkptMode::Off,
+    };
+    let base = match run_scenario_ckpt(
         sc,
         1,
         true,
@@ -232,6 +264,7 @@ pub fn check_scenario(sc: &Scenario) -> Vec<String> {
         sc.os_batch,
         sc.kernel_filter,
         sc.disk_wake,
+        base_ckpt,
     ) {
         Ok(out) => out,
         Err(e) => return vec![format!("depth-1 run deadlocked: {e}")],

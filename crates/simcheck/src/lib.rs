@@ -37,9 +37,15 @@
 pub mod check;
 pub mod diff;
 pub mod oracle;
+pub mod presets;
 pub mod scenario;
+pub mod soak;
 
-pub use check::{check_scenario, metamorphic_variants, run_scenario, shrink_failure, RunOutput};
+pub use check::{
+    apply_scenario_knobs, check_scenario, check_scenario_with_soak_ckpt, metamorphic_variants,
+    run_scenario, shrink_failure, CkptMode, RunOutput,
+};
 pub use diff::diff_backend_stats;
 pub use oracle::verify_trace;
 pub use scenario::{ArchPreset, Geometry, Scenario, Workload};
+pub use soak::SoakState;
